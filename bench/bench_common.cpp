@@ -1,0 +1,270 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "dsp/hilbert.hpp"
+#include "io/writers.hpp"
+#include "nn/serialize.hpp"
+
+namespace tvbf::benchx {
+
+bool want_full(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--full") == 0) return true;
+  return false;
+}
+
+Scene make_scene(bool full) {
+  Scene s;
+  s.full = full;
+  if (full) {
+    s.probe = us::Probe::l11_5v();
+    s.grid = us::ImagingGrid::paper(s.probe);
+    s.mvdr.subaperture = 64;
+    s.cyst_depths = {13e-3, 25e-3, 37e-3};
+    s.point_row_depths = {15e-3, 35e-3};
+    s.cyst_radius = 4e-3;
+  } else {
+    s.probe = us::Probe::test_probe(32);
+    s.grid = us::ImagingGrid::reduced(s.probe, 192, 64, 8e-3, 42e-3);
+    // L = 12 of 32 channels: best contrast/resolution trade-off at this
+    // scale (see EXPERIMENTS.md calibration notes).
+    s.mvdr.subaperture = 12;
+    s.cyst_depths = {13e-3, 25e-3, 37e-3};
+    s.point_row_depths = {15e-3, 35e-3};
+    // The reduced probe aperture is ~9.3 mm: keep cysts inside the image.
+    s.cyst_radius = 2.5e-3;
+  }
+  return s;
+}
+
+us::SimParams sim_preset(const Scene& scene, bool vitro) {
+  us::SimParams p = vitro ? us::SimParams::in_vitro()
+                          : us::SimParams::in_silico();
+  p.max_depth = scene.grid.z_end() + 3e-3;
+  return p;
+}
+
+namespace {
+
+us::Region scene_region(const Scene& scene) {
+  us::Region r;
+  r.x_min = scene.grid.x0;
+  r.x_max = scene.grid.x_end();
+  r.z_min = scene.grid.z0;
+  r.z_max = scene.grid.z_end();
+  return r;
+}
+
+models::TinyVbfConfig vbf_config(const Scene& scene) {
+  models::TinyVbfConfig c;
+  c.in_channels = scene.probe.num_elements;
+  c.num_lateral = scene.grid.nx;
+  // patch_size 2: sub-patch lateral detail is what narrows the PSF toward
+  // MVDR (Table II); 4-pixel patches bottleneck the decoder laterally.
+  c.patch_size = 2;
+  c.d_model = 24;
+  c.num_heads = 2;
+  c.mlp_hidden = 48;
+  c.num_blocks = 2;
+  c.decoder_hidden = 48;
+  return c;
+}
+
+models::TinyCnnConfig cnn_config(const Scene& scene) {
+  models::TinyCnnConfig c;
+  c.in_channels = scene.probe.num_elements;
+  c.kernel = scene.full ? 5 : 3;
+  c.hidden1 = scene.full ? 16 : 8;
+  c.hidden2 = scene.full ? 16 : 8;
+  return c;
+}
+
+models::FcnnConfig fcnn_config(const Scene& scene) {
+  models::FcnnConfig c;
+  c.in_channels = scene.probe.num_elements;
+  c.hidden = scene.probe.num_elements / 2;
+  return c;
+}
+
+std::string cache_path(const Scene& scene, const std::string& model) {
+  return std::string(kOutDir) + "/" + model + "_" +
+         std::to_string(scene.probe.num_elements) + "ch_" +
+         std::to_string(scene.grid.nz) + "x" +
+         std::to_string(scene.grid.nx) + ".weights";
+}
+
+bool try_load(std::vector<nn::Variable> params, const std::string& path) {
+  if (!std::filesystem::exists(path)) return false;
+  try {
+    nn::load_parameters(params, path);
+    return true;
+  } catch (const std::exception& e) {
+    std::printf("  (cache %s unusable: %s)\n", path.c_str(), e.what());
+    return false;
+  }
+}
+
+}  // namespace
+
+us::Phantom contrast_phantom(const Scene& scene, bool vitro) {
+  Rng rng(vitro ? 97531 : 13579);
+  us::SpeckleOptions opt;
+  opt.density_per_mm2 = scene.full ? 2.0 : 2.0;
+  return us::make_contrast_phantom(rng, scene.cyst_depths, scene.cyst_radius,
+                                   scene_region(scene), opt);
+}
+
+us::Phantom resolution_phantom(const Scene& scene) {
+  const us::Region region = scene_region(scene);
+  const double span = 0.6 * region.width();
+  return us::make_resolution_phantom(scene.point_row_depths,
+                                     scene.full ? 5 : 3, span, region);
+}
+
+ModelSet get_trained_models(const Scene& scene, std::int64_t train_frames,
+                            std::int64_t epochs, bool verbose) {
+  io::ensure_directory(kOutDir);
+  Rng rng(20240131);
+  ModelSet set;
+  set.vbf = std::make_shared<models::TinyVbf>(vbf_config(scene), rng);
+  set.cnn = std::make_shared<models::TinyCnn>(cnn_config(scene), rng);
+  set.fcnn = std::make_shared<models::Fcnn>(fcnn_config(scene), rng);
+
+  const std::string vbf_path = cache_path(scene, "tiny_vbf");
+  const std::string cnn_path = cache_path(scene, "tiny_cnn");
+  const std::string fcnn_path = cache_path(scene, "fcnn");
+  const bool have_vbf = try_load(set.vbf->parameters(), vbf_path);
+  const bool have_cnn = try_load(set.cnn->parameters(), cnn_path);
+  const bool have_fcnn = try_load(set.fcnn->parameters(), fcnn_path);
+  if (have_vbf && have_cnn && have_fcnn) {
+    if (verbose) std::printf("[models] loaded cached weights from %s/\n", kOutDir);
+    return set;
+  }
+
+  if (verbose)
+    std::printf("[models] training on %lld synthetic frames (%lld epochs; "
+                "MVDR labels)...\n",
+                static_cast<long long>(train_frames),
+                static_cast<long long>(epochs));
+  models::DatasetParams dp;
+  dp.sim = sim_preset(scene, /*vitro=*/false);
+  dp.mvdr = scene.mvdr;
+  dp.seed = 777;
+  dp.alternate_in_vitro = true;
+  Timer t;
+  auto frames =
+      models::make_training_set(scene.probe, scene.grid, train_frames, dp);
+  // Two dedicated point-target frames (wire-phantom style) supervise the
+  // PSF directly — without them the lateral mainlobe narrowing the paper
+  // reports does not emerge from speckle-dominated frames alone.
+  {
+    const us::Region region{scene.grid.x0, scene.grid.x_end(), scene.grid.z0,
+                            scene.grid.z_end()};
+    const double span = 0.6 * region.width();
+    for (int k = 0; k < 2; ++k) {
+      const std::vector<double> depths =
+          k == 0 ? std::vector<double>{14e-3, 26e-3, 38e-3}
+                 : std::vector<double>{11e-3, 20e-3, 32e-3};
+      const us::Phantom ph =
+          us::make_resolution_phantom(depths, 3, span, region);
+      models::DatasetParams p = dp;
+      p.sim.seed = dp.seed + 1000 + static_cast<std::uint64_t>(k);
+      frames.push_back(models::make_frame(scene.probe, scene.grid, ph, p));
+    }
+  }
+  if (verbose)
+    std::printf("[models] dataset built in %.1f s\n", t.seconds());
+
+  models::TrainOptions opt;
+  opt.epochs = epochs;
+  // The paper's 1e-4..1e-6 schedule over 1000 epochs is rescaled to the
+  // shorter horizon used here.
+  opt.initial_lr = 2e-3;
+  opt.final_lr = 1e-5;
+  opt.cyclic = true;
+  opt.verbose = false;
+
+  if (!have_vbf) {
+    t.reset();
+    // The transformer starts from a much higher loss than the
+    // apodization-weight baselines (whose output is structurally near-DAS
+    // at init) and needs a longer horizon to push its MSE floor below the
+    // cyst level. Three warm restarts (fresh Adam state + schedule) drive
+    // the loss low enough to reproduce the paper's contrast ordering — the
+    // cyclic-restart analogue of the paper's 1000-epoch schedule.
+    double first_loss = 0.0, last_loss = 0.0;
+    for (int round = 0; round < 4; ++round) {
+      const auto rep = models::train_model(
+          [&](const Tensor& in) { return set.vbf->forward(nn::constant(in)); },
+          set.vbf->parameters(), frames, models::TargetKind::kIq, opt);
+      if (round == 0) first_loss = rep.epoch_loss.front();
+      last_loss = rep.final_loss;
+    }
+    nn::save_parameters(set.vbf->parameters(), vbf_path);
+    if (verbose)
+      std::printf("[models] Tiny-VBF: loss %.5f -> %.5f (%.1f s)\n",
+                  first_loss, last_loss, t.seconds());
+  }
+  if (!have_cnn) {
+    t.reset();
+    const auto rep = models::train_model(
+        [&](const Tensor& in) { return set.cnn->forward(nn::constant(in)); },
+        set.cnn->parameters(), frames, models::TargetKind::kRf, opt);
+    nn::save_parameters(set.cnn->parameters(), cnn_path);
+    if (verbose)
+      std::printf("[models] Tiny-CNN: loss %.5f -> %.5f (%.1f s)\n",
+                  rep.epoch_loss.front(), rep.final_loss, t.seconds());
+  }
+  if (!have_fcnn) {
+    t.reset();
+    const auto rep = models::train_model(
+        [&](const Tensor& in) { return set.fcnn->forward(nn::constant(in)); },
+        set.fcnn->parameters(), frames, models::TargetKind::kRf, opt);
+    nn::save_parameters(set.fcnn->parameters(), fcnn_path);
+    if (verbose)
+      std::printf("[models] FCNN: loss %.5f -> %.5f (%.1f s)\n",
+                  rep.epoch_loss.front(), rep.final_loss, t.seconds());
+  }
+  return set;
+}
+
+std::vector<std::pair<std::string, Tensor>> envelopes_for_phantom(
+    const Scene& scene, const ModelSet& models, const us::Phantom& phantom,
+    const us::SimParams& sim) {
+  const us::Acquisition acq =
+      us::simulate_plane_wave(scene.probe, phantom, 0.0, sim);
+  const us::TofCube rf = us::tof_correct(acq, scene.grid, {});
+  const us::TofCube iq =
+      us::tof_correct(acq, scene.grid, {.analytic = true});
+
+  const bf::DasBeamformer das(scene.probe);
+  const bf::MvdrBeamformer mvdr(scene.mvdr);
+  const models::TinyCnnBeamformer cnn_bf(models.cnn);
+  const models::TinyVbfBeamformer vbf_bf(models.vbf);
+
+  std::vector<std::pair<std::string, Tensor>> out;
+  out.emplace_back("DAS", dsp::envelope_iq(das.beamform(rf)));
+  out.emplace_back("MVDR", dsp::envelope_iq(mvdr.beamform(iq)));
+  out.emplace_back("Tiny-CNN", dsp::envelope_iq(cnn_bf.beamform(rf)));
+  out.emplace_back("Tiny-VBF", dsp::envelope_iq(vbf_bf.beamform(rf)));
+  return out;
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+void print_row(const std::string& name,
+               const std::vector<std::pair<std::string, double>>& cells) {
+  std::printf("%-12s", name.c_str());
+  for (const auto& [label, value] : cells)
+    std::printf("  %s=%8.3f", label.c_str(), value);
+  std::printf("\n");
+}
+
+}  // namespace tvbf::benchx

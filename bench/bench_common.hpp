@@ -1,0 +1,84 @@
+// Shared infrastructure for the table/figure reproduction benches.
+//
+// Every bench binary reconstructs the paper's pipeline at a reduced default
+// scale (32 channels, 192 x 64 grid) so the whole suite runs in minutes;
+// passing --full escalates to the paper's 368 x 128 frame with 128 channels.
+// Trained model weights are cached in bench_out/ so the first bench that
+// needs them trains once and the rest reload.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "beamform/das.hpp"
+#include "beamform/mvdr.hpp"
+#include "models/dataset.hpp"
+#include "models/neural_beamformer.hpp"
+#include "models/trainer.hpp"
+#include "us/tof.hpp"
+
+namespace tvbf::benchx {
+
+/// Output directory for figures/CSVs/weight caches.
+inline const char* kOutDir = "bench_out";
+
+/// Experiment scale + physics configuration.
+struct Scene {
+  us::Probe probe;
+  us::ImagingGrid grid;
+  bf::MvdrParams mvdr;
+  bool full = false;
+
+  /// Depths (m) for the contrast cysts / resolution rows, scaled to the
+  /// grid's depth range.
+  std::vector<double> cyst_depths;
+  std::vector<double> point_row_depths;
+  double cyst_radius = 4e-3;
+};
+
+/// Builds the default (reduced) or --full (paper-scale) scene.
+Scene make_scene(bool full);
+
+/// True when argv contains --full.
+bool want_full(int argc, char** argv);
+
+/// The four trained/loaded models of the comparison.
+struct ModelSet {
+  std::shared_ptr<models::TinyVbf> vbf;
+  std::shared_ptr<models::TinyCnn> cnn;
+  std::shared_ptr<models::Fcnn> fcnn;
+};
+
+/// Trains (or loads cached) models for the scene. Training uses random
+/// speckle/cyst/point phantoms with MVDR labels, per the paper's recipe.
+ModelSet get_trained_models(const Scene& scene, std::int64_t train_frames = 8,
+                            std::int64_t epochs = 60, bool verbose = true);
+
+/// Envelope image of each method for one phantom acquisition, keyed by
+/// method name in the paper's order: DAS, MVDR, Tiny-CNN, Tiny-VBF.
+std::vector<std::pair<std::string, Tensor>> envelopes_for_phantom(
+    const Scene& scene, const ModelSet& models, const us::Phantom& phantom,
+    const us::SimParams& sim);
+
+/// In-silico / in-vitro simulator presets bounded to the scene depth.
+us::SimParams sim_preset(const Scene& scene, bool vitro);
+
+/// Contrast phantom for the scene (cysts at scene.cyst_depths).
+us::Phantom contrast_phantom(const Scene& scene, bool vitro);
+
+/// Resolution phantom for the scene (rows at scene.point_row_depths).
+us::Phantom resolution_phantom(const Scene& scene);
+
+// ---- table formatting -------------------------------------------------------
+
+/// Prints a section header.
+void print_header(const std::string& title);
+
+/// Prints one "name: paper=... measured=..." row of a reproduction table.
+void print_row(const std::string& name,
+               const std::vector<std::pair<std::string, double>>& cells);
+
+}  // namespace tvbf::benchx

@@ -1,0 +1,49 @@
+// Figs 11 and 13 reproduction: B-mode images of the resolution-distortion
+// datasets (point-target rows at two depths) for all four beamformers,
+// written as PGMs into bench_out/.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "io/writers.hpp"
+#include "metrics/image_quality.hpp"
+#include "metrics/resolution.hpp"
+
+namespace {
+
+using namespace tvbf;
+
+void run(const benchx::Scene& scene, const benchx::ModelSet& models,
+         bool vitro) {
+  const char* tag = vitro ? "vitro" : "silico";
+  const char* fig = vitro ? "fig13" : "fig11";
+  const us::Phantom phantom = benchx::resolution_phantom(scene);
+  const auto envs = benchx::envelopes_for_phantom(
+      scene, models, phantom, benchx::sim_preset(scene, vitro));
+  benchx::print_header(std::string(fig) + " — point-target B-mode (" + tag +
+                       ")");
+  for (const auto& [name, env] : envs) {
+    const Tensor db = metrics::bmode_db(env, 60.0);
+    std::string fname = std::string(benchx::kOutDir) + "/" + fig + "_" + tag +
+                        "_" + name + ".pgm";
+    for (auto& c : fname)
+      if (c == ' ') c = '_';
+    io::write_pgm_db(fname, db, 60.0);
+    const auto w =
+        metrics::mean_psf_widths(env, scene.grid, phantom.points, 2.0);
+    std::printf("%-10s wrote %-44s  FWHM ax %.3f mm lat %.3f mm\n",
+                name.c_str(), fname.c_str(), w.axial_mm, w.lateral_mm);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = benchx::want_full(argc, argv);
+  const auto scene = benchx::make_scene(full);
+  std::printf("Tiny-VBF reproduction — Figs 11/13 (resolution B-mode images)\n");
+  io::ensure_directory(benchx::kOutDir);
+  const auto models = benchx::get_trained_models(scene);
+  run(scene, models, /*vitro=*/false);
+  run(scene, models, /*vitro=*/true);
+  return 0;
+}

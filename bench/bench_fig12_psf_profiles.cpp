@@ -1,0 +1,83 @@
+// Figs 12 and 14 reproduction: lateral point-spread-function profiles at the
+// two point-row depths (normalized amplitude vs lateral position), for
+// simulation and in-vitro presets. CSVs land in bench_out/; the printed
+// summary reports mainlobe width and peak sidelobe level per method —
+// the paper's claim is that MVDR and Tiny-VBF shrink both vs DAS/Tiny-CNN.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "io/writers.hpp"
+#include "metrics/resolution.hpp"
+
+namespace {
+
+using namespace tvbf;
+
+/// Peak sidelobe level (dB below mainlobe) of a normalized profile.
+double sidelobe_db(const std::vector<float>& prof) {
+  // Find the mainlobe peak, walk to its -inf edges, then take the max
+  // outside.
+  const auto peak_it = std::max_element(prof.begin(), prof.end());
+  const std::int64_t peak =
+      static_cast<std::int64_t>(std::distance(prof.begin(), peak_it));
+  std::int64_t lo = peak, hi = peak;
+  while (lo > 0 && prof[static_cast<std::size_t>(lo - 1)] <
+                       prof[static_cast<std::size_t>(lo)])
+    --lo;
+  while (hi + 1 < static_cast<std::int64_t>(prof.size()) &&
+         prof[static_cast<std::size_t>(hi + 1)] <
+             prof[static_cast<std::size_t>(hi)])
+    ++hi;
+  float side = 0.0f;
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(prof.size()); ++i)
+    if (i < lo || i > hi) side = std::max(side, prof[static_cast<std::size_t>(i)]);
+  if (side <= 0.0f) return -120.0;
+  return 20.0 * std::log10(side / *peak_it);
+}
+
+void run(const benchx::Scene& scene, const benchx::ModelSet& models,
+         bool vitro) {
+  const char* tag = vitro ? "vitro" : "silico";
+  const char* fig = vitro ? "fig14" : "fig12";
+  const us::Phantom phantom = benchx::resolution_phantom(scene);
+  const auto envs = benchx::envelopes_for_phantom(
+      scene, models, phantom, benchx::sim_preset(scene, vitro));
+
+  for (double depth : scene.point_row_depths) {
+    std::vector<std::string> names{"lateral_mm"};
+    std::vector<std::vector<double>> cols;
+    std::vector<double> x;
+    for (std::int64_t ix = 0; ix < scene.grid.nx; ++ix)
+      x.push_back(scene.grid.x_at(ix) * 1e3);
+    cols.push_back(x);
+    benchx::print_header(std::string(fig) + " — lateral PSF at " +
+                         std::to_string(depth * 1e3) + " mm (" + tag + ")");
+    for (const auto& [name, env] : envs) {
+      const auto prof = metrics::lateral_profile(env, scene.grid, depth);
+      names.push_back(name);
+      cols.emplace_back(prof.begin(), prof.end());
+      std::printf("%-10s  peak sidelobe %7.1f dB\n", name.c_str(),
+                  sidelobe_db(prof));
+    }
+    std::string csv = std::string(benchx::kOutDir) + "/" + fig + "_" + tag +
+                      "_" + std::to_string(static_cast<int>(depth * 1e3)) +
+                      "mm.csv";
+    io::write_csv(csv, names, cols);
+    std::printf("wrote %s\n", csv.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = benchx::want_full(argc, argv);
+  const auto scene = benchx::make_scene(full);
+  std::printf("Tiny-VBF reproduction — Figs 12/14 (lateral PSF profiles)\n");
+  io::ensure_directory(benchx::kOutDir);
+  const auto models = benchx::get_trained_models(scene);
+  run(scene, models, /*vitro=*/false);
+  run(scene, models, /*vitro=*/true);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Computational-complexity comparison (the paper's headline numbers):
+// Tiny-VBF 0.34, FCNN 1.4, Tiny-CNN 11.7, CNN[8] 50, MVDR 98.78,
+// CNN[9] 199 GOPs/frame at 368 x 128.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "models/complexity.hpp"
+
+int main() {
+  using namespace tvbf;
+  const std::int64_t nz = 368, nx = 128, nch = 128;
+  Rng rng(1);
+  const models::TinyVbf vbf(models::TinyVbfConfig::paper(), rng);
+  const models::TinyCnn cnn(models::TinyCnnConfig::paper(), rng);
+  const models::Fcnn fcnn(models::FcnnConfig::paper(), rng);
+
+  benchx::print_header("GOPs/frame at 368 x 128 (paper vs measured count)");
+  std::printf("%-28s %10s %12s   %s\n", "method", "paper", "measured", "note");
+  std::printf("%-28s %10.2f %12.3f   %s\n", "Tiny-VBF (ours)", 0.34,
+              static_cast<double>(vbf.ops_per_frame(nz)) / 1e9,
+              "counted from config");
+  std::printf("%-28s %10.2f %12.3f   %s\n", "FCNN [6]", 1.4,
+              static_cast<double>(fcnn.ops_per_frame(nz, nx)) / 1e9,
+              "counted from config");
+  std::printf("%-28s %10.2f %12.3f   %s\n", "Tiny-CNN [7]", 11.7,
+              static_cast<double>(cnn.ops_per_frame(nz, nx)) / 1e9,
+              "counted from config");
+  std::printf("%-28s %10.2f %12.3f   %s\n", "DAS", 0.0,
+              static_cast<double>(models::das_ops_per_frame(nz, nx, nch)) / 1e9,
+              "classical reference (paper omits)");
+  std::printf("%-28s %10.2f %12.3f   %s\n", "MVDR (subaperture 64)", 98.78,
+              static_cast<double>(models::mvdr_ops_per_frame(nz, nx, nch, 64)) /
+                  1e9,
+              "counted from our implementation");
+  for (const auto& e : models::literature_complexity())
+    if (!e.measured && e.name.find("MVDR") == std::string::npos)
+      std::printf("%-28s %10.2f %12s   %s\n", e.name.c_str(),
+                  e.gops_per_frame, "-", e.note.c_str());
+
+  benchx::print_header("Parameter counts");
+  std::printf("Tiny-VBF: %lld weights (paper: 1,507,922 — dimensions not "
+              "published; see EXPERIMENTS.md)\n",
+              static_cast<long long>(vbf.num_parameters()));
+  std::printf("Tiny-CNN: %lld weights, FCNN: %lld weights\n",
+              static_cast<long long>(cnn.num_parameters()),
+              static_cast<long long>(fcnn.num_parameters()));
+
+  const double vbf_g = static_cast<double>(vbf.ops_per_frame(nz)) / 1e9;
+  const double cnn_g = static_cast<double>(cnn.ops_per_frame(nz, nx)) / 1e9;
+  const double fcnn_g = static_cast<double>(fcnn.ops_per_frame(nz, nx)) / 1e9;
+  std::printf("\nshape check: Tiny-VBF < FCNN < Tiny-CNN: %s\n",
+              (vbf_g < fcnn_g && fcnn_g < cnn_g) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Table II reproduction: axial / lateral FWHM resolution of the four
+// beamformers on in-silico and in-vitro point-target phantoms.
+//
+// Shape targets (paper): MVDR ~ Tiny-VBF < DAS ~ Tiny-CNN on both axes.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "metrics/resolution.hpp"
+
+namespace {
+
+using namespace tvbf;
+
+struct PaperRow {
+  double axial, lateral;
+};
+
+const std::map<std::string, PaperRow> kPaperSim = {
+    {"DAS", {0.364, 0.60}},
+    {"MVDR", {0.297, 0.45}},
+    {"Tiny-CNN", {0.368, 0.60}},
+    {"Tiny-VBF", {0.303, 0.45}},
+};
+const std::map<std::string, PaperRow> kPaperVitro = {
+    {"DAS", {0.459, 0.60}},
+    {"MVDR", {0.459, 0.48}},
+    {"Tiny-CNN", {0.466, 0.72}},
+    {"Tiny-VBF", {0.444, 0.48}},
+};
+
+void run(const benchx::Scene& scene, const benchx::ModelSet& models,
+         bool vitro) {
+  const auto& paper = vitro ? kPaperVitro : kPaperSim;
+  benchx::print_header(std::string("Table II — resolution (FWHM mm), ") +
+                       (vitro ? "phantom (in-vitro preset)" : "simulation"));
+  const us::Phantom phantom = benchx::resolution_phantom(scene);
+  const auto envs = benchx::envelopes_for_phantom(
+      scene, models, phantom, benchx::sim_preset(scene, vitro));
+  std::printf("%-12s %24s %30s\n", "", "paper (axial, lateral)",
+              "measured (axial, lateral)");
+  double lat_das = 0.0, lat_vbf = 0.0, lat_mvdr = 0.0;
+  for (const auto& [name, env] : envs) {
+    const auto w = metrics::mean_psf_widths(env, scene.grid, phantom.points,
+                                            /*search_mm=*/2.0);
+    const auto& p = paper.at(name);
+    std::printf("%-12s   %8.3f %8.3f      |    %8.3f %8.3f\n", name.c_str(),
+                p.axial, p.lateral, w.axial_mm, w.lateral_mm);
+    if (name == "DAS") lat_das = w.lateral_mm;
+    if (name == "MVDR") lat_mvdr = w.lateral_mm;
+    if (name == "Tiny-VBF") lat_vbf = w.lateral_mm;
+  }
+  std::printf("shape check: Tiny-VBF lateral <= DAS: %s | MVDR <= DAS: %s\n",
+              lat_vbf <= lat_das ? "yes" : "NO",
+              lat_mvdr <= lat_das ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = tvbf::benchx::want_full(argc, argv);
+  const auto scene = tvbf::benchx::make_scene(full);
+  std::printf("Tiny-VBF reproduction — Table II (resolution), scale %s\n",
+              full ? "FULL" : "reduced");
+  const auto models = tvbf::benchx::get_trained_models(scene);
+  run(scene, models, /*vitro=*/false);
+  run(scene, models, /*vitro=*/true);
+  return 0;
+}

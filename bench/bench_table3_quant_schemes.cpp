@@ -1,0 +1,39 @@
+// Table III reproduction: the hybrid quantization bit-width assignments.
+// This bench echoes the implemented schemes next to the published table and
+// verifies the derived fixed-point formats.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "quant/scheme.hpp"
+
+int main() {
+  using tvbf::quant::QuantScheme;
+  tvbf::benchx::print_header("Table III — hybrid quantization bit-widths");
+  std::printf("%-22s %10s %10s\n", "", "Hybrid-1", "Hybrid-2");
+  const QuantScheme h1 = QuantScheme::hybrid1();
+  const QuantScheme h2 = QuantScheme::hybrid2();
+  std::printf("%-22s %7d    %7d     (paper: 8 / 8)\n", "Weights [bits]",
+              h1.weight_bits, h2.weight_bits);
+  std::printf("%-22s %7d    %7d     (paper: 24 / 24)\n", "Softmax [bits]",
+              h1.softmax_bits, h2.softmax_bits);
+  std::printf("%-22s %7d    %7d     (paper: 20 / 16)\n", "Mul/Add ops [bits]",
+              h1.op_bits, h2.op_bits);
+  std::printf("%-22s %7d    %7d     (paper: 20 / 16)\n",
+              "Intermediate [bits]", h1.inter_bits, h2.inter_bits);
+
+  std::printf("\nDerived fixed-point formats (bits, fractional bits):\n");
+  for (const auto& s : QuantScheme::paper_levels()) {
+    if (s.is_float) {
+      std::printf("  %-10s float32 everywhere\n", s.name.c_str());
+      continue;
+    }
+    const auto op = s.op_format();
+    const auto inter = s.inter_format();
+    const auto sm = s.softmax_format();
+    std::printf("  %-10s op Q%d.%d   intermediate Q%d.%d   softmax Q%d.%d\n",
+                s.name.c_str(), op.bits - op.frac_bits, op.frac_bits,
+                inter.bits - inter.frac_bits, inter.frac_bits,
+                sm.bits - sm.frac_bits, sm.frac_bits);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Table VI + Fig 1b reproduction: modelled FPGA resource utilization of the
+// Tiny-VBF accelerator at every quantization level vs the paper's
+// post-implementation reports for the ZCU104.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accel/resource_model.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+struct PaperRow {
+  double lut, ff, bram, dsp, lutram, power;
+};
+
+const std::map<std::string, PaperRow> kPaper = {
+    {"Float", {124935, 91470, 161.5, 533, 17589, 4.489}},
+    {"24 bits", {88457, 50454, 158, 279, 11556, 4.369}},
+    {"20 bits", {84594, 43333, 156, 148, 9442, 4.174}},
+    {"16 bits", {59840, 34920, 82, 274, 6795, 3.989}},
+    {"Hybrid-1", {72415, 38287, 150, 146, 5352, 4.229}},
+    {"Hybrid-2", {61951, 29105, 110, 274, 5324, 4.174}},
+};
+
+void print_metric(const char* name,
+                  const std::vector<tvbf::accel::ResourceReport>& reports,
+                  double PaperRow::*paper_field,
+                  double tvbf::accel::ResourceReport::*model_field) {
+  std::printf("%-9s", name);
+  for (const auto& r : reports) {
+    const auto& p = kPaper.at(r.scheme);
+    std::printf("  %8.0f/%-8.0f", p.*paper_field, r.*model_field);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace tvbf;
+  const accel::ResourceModel model;
+  const auto reports = model.estimate_paper_levels();
+
+  benchx::print_header("Table VI — resource utilization (paper/model)");
+  std::printf("%-9s", "");
+  for (const auto& r : reports) std::printf("  %-17s", r.scheme.c_str());
+  std::printf("\n");
+  print_metric("LUT", reports, &PaperRow::lut, &accel::ResourceReport::lut);
+  print_metric("FF", reports, &PaperRow::ff, &accel::ResourceReport::ff);
+  print_metric("BRAM", reports, &PaperRow::bram, &accel::ResourceReport::bram36);
+  print_metric("DSP", reports, &PaperRow::dsp, &accel::ResourceReport::dsp);
+  print_metric("LUTRAM", reports, &PaperRow::lutram,
+               &accel::ResourceReport::lutram);
+  std::printf("%-9s", "Power W");
+  for (const auto& r : reports) {
+    const auto& p = kPaper.at(r.scheme);
+    std::printf("  %8.3f/%-8.3f", p.power, r.power_w);
+  }
+  std::printf("\n");
+
+  benchx::print_header("Fig 1b — Float vs Hybrid-2 resource reduction");
+  const auto& f = reports[0];
+  const auto& h2 = reports[5];
+  auto pct = [](double a, double b) { return 100.0 * (1.0 - b / a); };
+  std::printf("LUT    -%.0f%%   FF -%.0f%%   LUTRAM -%.0f%%   BRAM -%.0f%%   "
+              "DSP -%.0f%%\n",
+              pct(f.lut, h2.lut), pct(f.ff, h2.ff), pct(f.lutram, h2.lutram),
+              pct(f.bram36, h2.bram36), pct(f.dsp, h2.dsp));
+  std::printf("paper claim: > 50%% overall reduction for Hybrid-2 -> %s\n",
+              (pct(f.ff, h2.ff) > 50.0 && pct(f.lut, h2.lut) > 45.0) ? "reproduced"
+                                                                     : "NOT met");
+
+  benchx::print_header("ZCU104 utilization fractions (model)");
+  const auto cap = accel::ResourceModel::zcu104();
+  for (const auto& r : reports)
+    std::printf("%-9s  LUT %4.1f%%  FF %4.1f%%  BRAM %4.1f%%  DSP %4.1f%%\n",
+                r.scheme.c_str(), 100.0 * r.lut / cap.lut,
+                100.0 * r.ff / cap.ff, 100.0 * r.bram36 / cap.bram36,
+                100.0 * r.dsp / cap.dsp);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// PICMUS-style evaluation: run all four beamformers (DAS, MVDR, Tiny-CNN,
+// Tiny-VBF) on the contrast and resolution phantoms and print a compact
+// quality report — the programmatic version of the paper's Tables I & II.
+// Trained weights are reused from the bench cache when available (run any
+// bench_table* binary first for a fully trained Tiny-VBF); otherwise the
+// models are freshly trained at reduced strength.
+//
+//   ./picmus_eval [--quick]
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "metrics/image_quality.hpp"
+#include "metrics/resolution.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tvbf;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  const auto scene = benchx::make_scene(/*full=*/false);
+  const auto models =
+      quick ? benchx::get_trained_models(scene, 2, 20)
+            : benchx::get_trained_models(scene);
+
+  for (bool vitro : {false, true}) {
+    const char* tag = vitro ? "in-vitro preset" : "in-silico";
+    benchx::print_header(std::string("contrast phantom (") + tag + ")");
+    const us::Phantom cysts = benchx::contrast_phantom(scene, vitro);
+    for (const auto& [name, env] : benchx::envelopes_for_phantom(
+             scene, models, cysts, benchx::sim_preset(scene, vitro))) {
+      const auto m = metrics::mean_contrast(env, scene.grid, cysts.cysts);
+      std::printf("  %-10s CR %6.2f dB   CNR %5.2f   GCNR %5.2f\n",
+                  name.c_str(), m.cr_db, m.cnr, m.gcnr);
+    }
+    benchx::print_header(std::string("resolution phantom (") + tag + ")");
+    const us::Phantom points = benchx::resolution_phantom(scene);
+    for (const auto& [name, env] : benchx::envelopes_for_phantom(
+             scene, models, points, benchx::sim_preset(scene, vitro))) {
+      const auto w =
+          metrics::mean_psf_widths(env, scene.grid, points.points, 2.0);
+      std::printf("  %-10s axial %5.3f mm   lateral %5.3f mm\n", name.c_str(),
+                  w.axial_mm, w.lateral_mm);
+    }
+  }
+  std::printf("\nExpected shape (paper): MVDR best CR, Tiny-VBF between MVDR "
+              "and DAS; Tiny-VBF/MVDR sharpest PSFs.\n");
+  return 0;
+}

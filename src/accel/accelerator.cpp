@@ -1,0 +1,114 @@
+#include "accel/accelerator.hpp"
+
+#include "accel/pe.hpp"
+#include "common/error.hpp"
+
+namespace tvbf::accel {
+
+void AccelConfig::validate() const {
+  TVBF_REQUIRE(num_pes > 0, "need at least one PE");
+  TVBF_REQUIRE(macs_per_pe > 0, "need at least one MAC lane per PE");
+  TVBF_REQUIRE(clock_hz > 0.0, "clock must be positive");
+  TVBF_REQUIRE(mem_fill_cycles >= 0, "memory fill cycles must be >= 0");
+}
+
+AcceleratorSim::AcceleratorSim(AccelConfig config) : config_(config) {
+  config_.validate();
+}
+
+std::int64_t AcceleratorSim::matmul_cycles(std::int64_t batch, std::int64_t m,
+                                           std::int64_t k,
+                                           std::int64_t n) const {
+  TVBF_REQUIRE(batch > 0 && m > 0 && k > 0 && n > 0,
+               "matmul dims must be positive");
+  const std::int64_t outputs = batch * m * n;
+  // Each output needs ceil(k / lanes) pipelined issues on one PE; the PE
+  // array retires num_pes outputs concurrently (II = 1 per issue).
+  const std::int64_t issues_per_output =
+      (k + config_.macs_per_pe - 1) / config_.macs_per_pe;
+  const std::int64_t waves = (outputs + config_.num_pes - 1) / config_.num_pes;
+  return waves * issues_per_output + ProcessingElement::kPipelineDepth +
+         config_.mem_fill_cycles;
+}
+
+std::int64_t AcceleratorSim::elementwise_cycles(std::int64_t n) const {
+  TVBF_REQUIRE(n > 0, "elementwise size must be positive");
+  const std::int64_t lanes = config_.num_pes * config_.macs_per_pe;
+  return (n + lanes - 1) / lanes + config_.mem_fill_cycles;
+}
+
+std::int64_t AcceleratorSim::softmax_cycles(std::int64_t rows,
+                                            std::int64_t w) const {
+  TVBF_REQUIRE(rows > 0 && w > 0, "softmax dims must be positive");
+  // Per row: max scan (w), exp+accumulate (w, pipelined through the
+  // non-linear unit), divide (w) + constant unit latency.
+  return rows * (3 * w + 8) + config_.mem_fill_cycles;
+}
+
+std::int64_t AcceleratorSim::layernorm_cycles(std::int64_t rows,
+                                              std::int64_t w) const {
+  TVBF_REQUIRE(rows > 0 && w > 0, "layernorm dims must be positive");
+  // Per row: mean (w), variance (w), one rsqrt (~16 cycles in the sqrt/div
+  // unit), scale+shift (w).
+  return rows * (3 * w + 16) + config_.mem_fill_cycles;
+}
+
+AccelReport AcceleratorSim::run_tiny_vbf(const models::TinyVbfConfig& cfg,
+                                         std::int64_t nz) const {
+  cfg.validate();
+  TVBF_REQUIRE(nz > 0, "frame depth must be positive");
+  const std::int64_t np = cfg.num_patches();
+  const std::int64_t d = cfg.d_model;
+  const std::int64_t dk = d / cfg.num_heads;
+  const std::int64_t pin = cfg.patch_size * cfg.in_channels;
+
+  AccelReport rep;
+  auto emit = [&](std::string name, std::int64_t macs, std::int64_t cycles) {
+    rep.ops.push_back({std::move(name), macs, cycles});
+    rep.total_macs += macs;
+    rep.total_cycles += cycles;
+  };
+
+  // Patch embedding: (nz*np, pin) x (pin, d).
+  emit("embed", nz * np * pin * d, matmul_cycles(nz, np, pin, d));
+  emit("pos_add", 0, elementwise_cycles(nz * np * d));
+  for (std::int64_t b = 0; b < cfg.num_blocks; ++b) {
+    const std::string tag = "blk" + std::to_string(b) + ".";
+    emit(tag + "ln1", 0, layernorm_cycles(nz * np, d));
+    // Q, K, V projections (Fig 6) and output projection (Fig 8a).
+    for (const char* nm : {"wq", "wk", "wv"})
+      emit(tag + nm, nz * np * d * d, matmul_cycles(nz, np, d, d));
+    // Attention scores per head (Fig 7): (np, dk) x (dk, np).
+    emit(tag + "scores", nz * cfg.num_heads * np * np * dk,
+         cfg.num_heads * matmul_cycles(nz, np, dk, np));
+    emit(tag + "softmax", 0, softmax_cycles(nz * cfg.num_heads * np, np));
+    // Head outputs: (np, np) x (np, dk) per head.
+    emit(tag + "attn_v", nz * cfg.num_heads * np * np * dk,
+         cfg.num_heads * matmul_cycles(nz, np, np, dk));
+    emit(tag + "wo", nz * np * d * d, matmul_cycles(nz, np, d, d));
+    emit(tag + "skip1", 0, elementwise_cycles(nz * np * d));
+    emit(tag + "ln2", 0, layernorm_cycles(nz * np, d));
+    emit(tag + "fc1", nz * np * d * cfg.mlp_hidden,
+         matmul_cycles(nz, np, d, cfg.mlp_hidden));
+    emit(tag + "relu1", 0, elementwise_cycles(nz * np * cfg.mlp_hidden));
+    emit(tag + "fc2", nz * np * cfg.mlp_hidden * d,
+         matmul_cycles(nz, np, cfg.mlp_hidden, d));
+    emit(tag + "skip2", 0, elementwise_cycles(nz * np * d));
+  }
+  emit("dec1", nz * np * d * cfg.decoder_hidden,
+       matmul_cycles(nz, np, d, cfg.decoder_hidden));
+  emit("dec_relu", 0, elementwise_cycles(nz * np * cfg.decoder_hidden));
+  emit("dec2", nz * np * cfg.decoder_hidden * cfg.patch_size * 2,
+       matmul_cycles(nz, np, cfg.decoder_hidden, cfg.patch_size * 2));
+
+  rep.latency_seconds = static_cast<double>(rep.total_cycles) / config_.clock_hz;
+  const double peak =
+      static_cast<double>(config_.num_pes * config_.macs_per_pe);
+  rep.utilization = rep.total_cycles > 0
+                        ? static_cast<double>(rep.total_macs) /
+                              (static_cast<double>(rep.total_cycles) * peak)
+                        : 0.0;
+  return rep;
+}
+
+}  // namespace tvbf::accel

@@ -1,0 +1,80 @@
+// Cycle-approximate simulator of the Tiny-VBF accelerator (Figs 5-8).
+//
+// The accelerator has 4 processing elements (16 MACs each), BRAM-resident
+// operands, and dedicated wide units for the non-linear ops (softmax,
+// division, sqrt — used by layer norm). The simulator walks the network's
+// layer schedule, assigns every matrix product to the PE array tile by tile
+// (Fig 6: Q/K/V, Fig 7: attention scores, Fig 8a: dense / head output), and
+// accounts cycles per operation. This substitutes for the ZCU104 deployment
+// we cannot run (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/tiny_vbf.hpp"
+
+namespace tvbf::accel {
+
+/// Hardware configuration (defaults follow the paper: 4 PEs @ 100 MHz).
+struct AccelConfig {
+  std::int64_t num_pes = 4;
+  std::int64_t macs_per_pe = 16;
+  double clock_hz = 100e6;
+  /// Cycles to stream one operand tile from BRAM (overlapped, added once
+  /// per operation as fill).
+  std::int64_t mem_fill_cycles = 4;
+
+  void validate() const;
+};
+
+/// Cycle accounting for one scheduled operation.
+struct OpCycles {
+  std::string name;
+  std::int64_t macs = 0;    ///< multiply-accumulate count
+  std::int64_t cycles = 0;  ///< simulated cycles on the array
+};
+
+/// Schedule + totals for one frame.
+struct AccelReport {
+  std::vector<OpCycles> ops;
+  std::int64_t total_cycles = 0;
+  std::int64_t total_macs = 0;
+  double latency_seconds = 0.0;
+  double utilization = 0.0;  ///< achieved MACs / (cycles * peak MACs/cycle)
+};
+
+/// The accelerator simulator.
+class AcceleratorSim {
+ public:
+  explicit AcceleratorSim(AccelConfig config = {});
+
+  /// Cycles for a (possibly batched) matrix product: batch x (m,k)x(k,n).
+  /// Output elements are distributed across PEs; each PE computes one
+  /// output's dot product in ceil(k/16) pipelined issues (Fig 6/8a).
+  std::int64_t matmul_cycles(std::int64_t batch, std::int64_t m,
+                             std::int64_t k, std::int64_t n) const;
+
+  /// Cycles for an elementwise stage of n values (adds, ReLU, scaling).
+  std::int64_t elementwise_cycles(std::int64_t n) const;
+
+  /// Cycles for softmax over `rows` rows of width w: the non-linear unit
+  /// processes serially (exp lookup + accumulate + divide per element).
+  std::int64_t softmax_cycles(std::int64_t rows, std::int64_t w) const;
+
+  /// Cycles for layer norm over `rows` rows of width w (mean, variance,
+  /// rsqrt via the sqrt/division unit, scale).
+  std::int64_t layernorm_cycles(std::int64_t rows, std::int64_t w) const;
+
+  /// Full per-layer schedule of a Tiny-VBF frame of nz depth rows.
+  AccelReport run_tiny_vbf(const models::TinyVbfConfig& cfg,
+                           std::int64_t nz) const;
+
+  const AccelConfig& config() const { return config_; }
+
+ private:
+  AccelConfig config_;
+};
+
+}  // namespace tvbf::accel

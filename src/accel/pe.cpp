@@ -1,0 +1,54 @@
+#include "accel/pe.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace tvbf::accel {
+namespace {
+
+/// Pairwise (adder-tree) reduction of exactly 16 values.
+template <typename Acc>
+Acc tree_sum(std::array<Acc, ProcessingElement::kLanes> v) {
+  for (std::int64_t stride = ProcessingElement::kLanes / 2; stride > 0;
+       stride /= 2)
+    for (std::int64_t i = 0; i < stride; ++i)
+      v[static_cast<std::size_t>(i)] =
+          v[static_cast<std::size_t>(i)] + v[static_cast<std::size_t>(i + stride)];
+  return v[0];
+}
+
+}  // namespace
+
+float ProcessingElement::dot16(std::span<const float> a,
+                               std::span<const float> b) {
+  TVBF_REQUIRE(a.size() == b.size(), "dot16 operand lengths differ");
+  TVBF_REQUIRE(a.size() <= static_cast<std::size_t>(kLanes),
+               "dot16 takes at most 16 lanes");
+  std::array<float, kLanes> prod{};
+  for (std::size_t i = 0; i < a.size(); ++i) prod[i] = a[i] * b[i];
+  return tree_sum(prod);
+}
+
+float ProcessingElement::dot16_fixed(std::span<const float> a,
+                                     std::span<const float> b,
+                                     const quant::FixedFormat& acc_fmt) {
+  TVBF_REQUIRE(a.size() == b.size(), "dot16_fixed operand lengths differ");
+  TVBF_REQUIRE(a.size() <= static_cast<std::size_t>(kLanes),
+               "dot16_fixed takes at most 16 lanes");
+  std::array<quant::Fixed, kLanes> prod;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(kLanes); ++i) {
+    const float x = i < a.size() ? a[i] : 0.0f;
+    const float y = i < b.size() ? b[i] : 0.0f;
+    prod[i] = quant::Fixed(x, acc_fmt) * quant::Fixed(y, acc_fmt);
+  }
+  return tree_sum(prod).to_float();
+}
+
+std::int64_t ProcessingElement::dot_cycles(std::int64_t k) {
+  TVBF_REQUIRE(k > 0, "dot product length must be positive");
+  const std::int64_t issues = (k + kLanes - 1) / kLanes;
+  return issues + kPipelineDepth;
+}
+
+}  // namespace tvbf::accel

@@ -1,0 +1,39 @@
+// Processing element model (Fig. 8b of the paper): 16 parallel multipliers
+// feeding a binary adder tree.
+//
+// The functional path (dot16) reproduces the hardware summation order —
+// pairwise reduction — in both float and fixed point, so the accelerator
+// simulator's numerics match what the RTL would produce. The timing
+// constants feed the cycle model in accelerator.cpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "quant/fixed_point.hpp"
+
+namespace tvbf::accel {
+
+/// One PE: 16 multipliers + 4-level adder tree, fully pipelined (II = 1).
+class ProcessingElement {
+ public:
+  static constexpr std::int64_t kLanes = 16;
+  static constexpr std::int64_t kAdderTreeDepth = 4;  // log2(16)
+  /// Pipeline latency of one dot-16 issue: multiply + tree levels.
+  static constexpr std::int64_t kPipelineDepth = 1 + kAdderTreeDepth;
+
+  /// Float dot product of up to 16 lanes in hardware (pairwise) order.
+  /// Missing lanes contribute zero.
+  static float dot16(std::span<const float> a, std::span<const float> b);
+
+  /// Fixed-point dot product: products are requantized to `acc_fmt` (the
+  /// multiply/add op format) and summed pairwise with saturation.
+  static float dot16_fixed(std::span<const float> a, std::span<const float> b,
+                           const quant::FixedFormat& acc_fmt);
+
+  /// Cycles for a dot product of length k issued through one PE:
+  /// ceil(k / 16) accumulation issues, II = 1, plus pipeline drain.
+  static std::int64_t dot_cycles(std::int64_t k);
+};
+
+}  // namespace tvbf::accel

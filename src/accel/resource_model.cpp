@@ -1,0 +1,103 @@
+#include "accel/resource_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tvbf::accel {
+namespace {
+
+// Calibration constants (fit against Table VI; see header).
+// Widths enter as: Wop = multiply/add datapath, Ww = weight storage,
+// Wsm = softmax unit, float uses an equivalent width + fixed extras.
+constexpr double kLutBase = 2606.0;
+constexpr double kLutPerOpBit = 2616.0;
+constexpr double kLutPerWeightBit = 348.5;
+constexpr double kLutPerSoftmaxBit = 612.4;
+constexpr double kLutFloatExtra = 10000.0;  // fp align/normalize fabric
+
+constexpr double kFfBase = 3852.0;
+constexpr double kFfPerOpBit = 1214.9;
+constexpr double kFfPerWeightBit = 726.9;
+constexpr double kFfFloatExtra = 25500.0;
+
+constexpr double kLutramBase = -2725.0;
+constexpr double kLutramPerBit = 595.1;  // uniform datapath width
+constexpr double kLutramHybrid = 5340.0; // 8-bit weights dominate
+constexpr double kLutramFloatExtra = 1270.0;
+
+constexpr double kPowerStatic = 3.229;
+constexpr double kPowerPerOpBit = 0.0475;
+constexpr double kPowerFloatEquivalentBits = 26.5;
+
+// BRAM word budget (elements), calibrated: on-chip tile of the ToF cube,
+// per-layer ping-pong buffers, and the attention/softmax scratch.
+constexpr double kBufferElems = 124000.0;
+constexpr double kSoftmaxElems = 32000.0;
+constexpr double kBramFloatExtra = 8.0;
+
+/// Values at or below 18 bits pack two per 36-bit BRAM word.
+double pack_factor(int bits) { return bits <= 18 ? 2.0 : 1.0; }
+
+/// DSP per MAC lane as mapped by the synthesis tool at each width (the
+/// paper's observed mapping; see header).
+double dsp_per_lane(const quant::QuantScheme& s) {
+  if (s.is_float) return 8.0;
+  if (s.op_bits > 18 && s.op_bits <= 20) return 2.0;  // 27x18 + fabric assist
+  return 4.0;  // <=18-bit and >=22-bit mappings observed at 4/lane
+}
+
+}  // namespace
+
+ResourceModel::ResourceModel(std::int64_t mac_lanes) : lanes_(mac_lanes) {
+  TVBF_REQUIRE(mac_lanes > 0, "resource model needs >= 1 MAC lane");
+}
+
+ResourceReport ResourceModel::estimate(const quant::QuantScheme& s) const {
+  ResourceReport r;
+  r.scheme = s.name;
+  const double lane_scale = static_cast<double>(lanes_) / 64.0;
+
+  const double wop = s.is_float ? 32.0 : s.op_bits;
+  const double ww = s.is_float ? 32.0 : s.weight_bits;
+  const double wsm = s.is_float ? 32.0 : s.softmax_bits;
+
+  r.lut = kLutBase + lane_scale * (kLutPerOpBit * wop +
+                                   kLutPerWeightBit * ww) +
+          kLutPerSoftmaxBit * wsm + (s.is_float ? kLutFloatExtra : 0.0);
+  r.ff = kFfBase +
+         lane_scale * (kFfPerOpBit * wop + kFfPerWeightBit * ww) +
+         (s.is_float ? kFfFloatExtra : 0.0);
+
+  const bool hybrid = !s.is_float && s.weight_bits < s.op_bits;
+  if (s.is_float)
+    r.lutram = kLutramBase + kLutramPerBit * 32.0 + kLutramFloatExtra;
+  else if (hybrid)
+    r.lutram = kLutramHybrid;
+  else
+    r.lutram = kLutramBase + kLutramPerBit * s.op_bits;
+
+  const double inter_bits = s.is_float ? 32.0 : s.inter_bits;
+  const double words = kBufferElems / pack_factor(static_cast<int>(inter_bits)) +
+                       kSoftmaxElems / pack_factor(static_cast<int>(wsm));
+  r.bram36 = words / 1024.0 + (s.is_float ? kBramFloatExtra : 0.0);
+
+  r.dsp = static_cast<double>(lanes_) * dsp_per_lane(s) +
+          (s.is_float ? 21.0 : 18.0);
+
+  const double power_bits =
+      s.is_float ? kPowerFloatEquivalentBits : s.op_bits;
+  r.power_w = kPowerStatic + kPowerPerOpBit * power_bits * lane_scale +
+              (wsm > wop ? 0.01 * (wsm - wop) : 0.0);
+
+  return r;
+}
+
+std::vector<ResourceReport> ResourceModel::estimate_paper_levels() const {
+  std::vector<ResourceReport> out;
+  for (const auto& s : quant::QuantScheme::paper_levels())
+    out.push_back(estimate(s));
+  return out;
+}
+
+}  // namespace tvbf::accel

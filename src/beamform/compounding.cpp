@@ -1,0 +1,68 @@
+#include "beamform/compounding.hpp"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.hpp"
+#include "us/simulator.hpp"
+
+namespace tvbf::bf {
+
+std::vector<double> CompoundingParams::angles() const {
+  validate();
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(num_angles));
+  if (num_angles == 1) {
+    out.push_back(0.0);
+    return out;
+  }
+  for (std::int64_t i = 0; i < num_angles; ++i)
+    out.push_back(-max_angle_rad +
+                  2.0 * max_angle_rad * static_cast<double>(i) /
+                      static_cast<double>(num_angles - 1));
+  return out;
+}
+
+void CompoundingParams::validate() const {
+  TVBF_REQUIRE(num_angles >= 1, "compounding needs >= 1 angle");
+  TVBF_REQUIRE(max_angle_rad >= 0.0 && max_angle_rad < M_PI / 3.0,
+               "steering span must be in [0, 60) degrees");
+}
+
+Tensor compound_acquisitions(const std::vector<us::Acquisition>& acqs,
+                             const us::ImagingGrid& grid,
+                             const CompoundingParams& params) {
+  params.validate();
+  TVBF_REQUIRE(!acqs.empty(), "no acquisitions to compound");
+  Tensor sum;
+  for (const auto& acq : acqs) {
+    TVBF_REQUIRE(acq.probe.num_elements == acqs.front().probe.num_elements,
+                 "acquisitions use different probes");
+    const us::TofCube cube = us::tof_correct(acq, grid, params.tof);
+    const DasBeamformer das(acq.probe, params.apodization);
+    Tensor iq = das.beamform(cube);
+    if (sum.empty())
+      sum = std::move(iq);
+    else
+      add_inplace(sum, iq);
+  }
+  return scale(sum, 1.0f / static_cast<float>(acqs.size()));
+}
+
+Tensor compound_plane_waves(const us::Probe& probe, const us::Phantom& phantom,
+                            const us::ImagingGrid& grid,
+                            const us::SimParams& sim,
+                            const CompoundingParams& params) {
+  std::vector<us::Acquisition> acqs;
+  const auto angle_list = params.angles();
+  acqs.reserve(angle_list.size());
+  us::SimParams per_angle = sim;
+  for (double a : angle_list) {
+    // Decorrelate the noise across transmits (independent receive events).
+    per_angle.seed = sim.seed + static_cast<std::uint64_t>(
+                                    std::llround(a * 1e6)) * 7919u;
+    acqs.push_back(us::simulate_plane_wave(probe, phantom, a, per_angle));
+  }
+  return compound_acquisitions(acqs, grid, params);
+}
+
+}  // namespace tvbf::bf

@@ -1,0 +1,74 @@
+#include "beamform/das.hpp"
+
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "dsp/hilbert.hpp"
+
+namespace tvbf::bf {
+
+DasBeamformer::DasBeamformer(const us::Probe& probe, ApodizationParams apod)
+    : probe_(probe), apod_params_(apod) {
+  probe_.validate();
+}
+
+Tensor DasBeamformer::beamform(const us::TofCube& cube) const {
+  TVBF_REQUIRE(cube.real.rank() == 3, "DAS expects a (nz, nx, nch) cube");
+  TVBF_REQUIRE(cube.channels() == probe_.num_elements,
+               "cube channel count does not match the probe");
+  const std::int64_t nz = cube.nz(), nx = cube.nx(), nch = cube.channels();
+  const Apodization apod(probe_, apod_params_);
+  const bool analytic = cube.is_analytic();
+
+  // Apodized sum across channels -> (nz, nx) real (RF) or complex (IQ).
+  Tensor sum_re({nz, nx});
+  Tensor sum_im = analytic ? Tensor({nz, nx}) : Tensor();
+  parallel_for_each(0, static_cast<std::size_t>(nz), [&](std::size_t zi) {
+    const auto iz = static_cast<std::int64_t>(zi);
+    const double z = cube.grid.z_at(iz);
+    std::vector<float> w;
+    for (std::int64_t ix = 0; ix < nx; ++ix) {
+      apod.weights_into(cube.grid.x_at(ix), z, w);
+      const float* re = cube.real.raw() + (iz * nx + ix) * nch;
+      double acc_re = 0.0;
+      for (std::int64_t e = 0; e < nch; ++e)
+        acc_re += static_cast<double>(w[static_cast<std::size_t>(e)]) * re[e];
+      sum_re.raw()[iz * nx + ix] = static_cast<float>(acc_re);
+      if (analytic) {
+        const float* im = cube.imag.raw() + (iz * nx + ix) * nch;
+        double acc_im = 0.0;
+        for (std::int64_t e = 0; e < nch; ++e)
+          acc_im += static_cast<double>(w[static_cast<std::size_t>(e)]) * im[e];
+        sum_im.raw()[iz * nx + ix] = static_cast<float>(acc_im);
+      }
+    }
+  }, /*min_grain=*/1);
+
+  Tensor iq({nz, nx, 2});
+  if (analytic) {
+    for (std::int64_t p = 0; p < nz * nx; ++p) {
+      iq.raw()[2 * p] = sum_re.raw()[p];
+      iq.raw()[2 * p + 1] = sum_im.raw()[p];
+    }
+  } else {
+    // Beamformed RF -> analytic signal per image column (paper: "processed
+    // with the Hilbert Transform to obtain the final B-mode image").
+    parallel_for_each(0, static_cast<std::size_t>(nx), [&](std::size_t xi) {
+      std::vector<float> col(static_cast<std::size_t>(nz));
+      for (std::int64_t z = 0; z < nz; ++z)
+        col[static_cast<std::size_t>(z)] =
+            sum_re.raw()[z * nx + static_cast<std::int64_t>(xi)];
+      const auto a = dsp::analytic_signal(col);
+      for (std::int64_t z = 0; z < nz; ++z) {
+        const auto& v = a[static_cast<std::size_t>(z)];
+        iq.raw()[(z * nx + static_cast<std::int64_t>(xi)) * 2] =
+            static_cast<float>(v.real());
+        iq.raw()[(z * nx + static_cast<std::int64_t>(xi)) * 2 + 1] =
+            static_cast<float>(v.imag());
+      }
+    }, /*min_grain=*/1);
+  }
+  return iq;
+}
+
+}  // namespace tvbf::bf

@@ -1,0 +1,25 @@
+// Delay-and-Sum beamformer (the paper's classical baseline).
+#pragma once
+
+#include "beamform/apodization.hpp"
+#include "beamform/beamformer.hpp"
+
+namespace tvbf::bf {
+
+/// DAS over a ToF-corrected cube: per pixel, the apodized sum across
+/// channels. On an RF cube the summed RF image is converted to IQ via a
+/// per-column Hilbert transform; on an analytic cube the complex sum is the
+/// IQ image directly.
+class DasBeamformer : public Beamformer {
+ public:
+  DasBeamformer(const us::Probe& probe, ApodizationParams apod = {});
+
+  std::string name() const override { return "DAS"; }
+  Tensor beamform(const us::TofCube& cube) const override;
+
+ private:
+  us::Probe probe_;
+  ApodizationParams apod_params_;
+};
+
+}  // namespace tvbf::bf

@@ -1,0 +1,86 @@
+#include "beamform/hermitian.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tvbf::bf {
+
+ComplexMatrix::ComplexMatrix(std::int64_t n)
+    : n_(n), data_(static_cast<std::size_t>(n * n), cd(0.0, 0.0)) {
+  TVBF_REQUIRE(n > 0, "matrix dimension must be positive");
+}
+
+void ComplexMatrix::clear() {
+  std::fill(data_.begin(), data_.end(), cd(0.0, 0.0));
+}
+
+void ComplexMatrix::rank1_update(const cd* v, double alpha) {
+  for (std::int64_t i = 0; i < n_; ++i) {
+    const cd vi = v[i];
+    cd* row = data_.data() + i * n_;
+    for (std::int64_t j = 0; j < n_; ++j)
+      row[j] += alpha * vi * std::conj(v[j]);
+  }
+}
+
+void ComplexMatrix::add_diagonal(double alpha) {
+  for (std::int64_t i = 0; i < n_; ++i) data_[i * n_ + i] += alpha;
+}
+
+double ComplexMatrix::trace_real() const {
+  double t = 0.0;
+  for (std::int64_t i = 0; i < n_; ++i) t += data_[i * n_ + i].real();
+  return t;
+}
+
+bool cholesky_inplace(ComplexMatrix& a) {
+  const std::int64_t n = a.n();
+  for (std::int64_t j = 0; j < n; ++j) {
+    // Diagonal entry: d = a_jj - sum_k |L_jk|^2, must be positive real.
+    double d = a.at(j, j).real();
+    for (std::int64_t k = 0; k < j; ++k) d -= std::norm(a.at(j, k));
+    if (!(d > 0.0) || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    a.at(j, j) = cd(ljj, 0.0);
+    const double inv = 1.0 / ljj;
+    for (std::int64_t i = j + 1; i < n; ++i) {
+      cd s = a.at(i, j);
+      for (std::int64_t k = 0; k < j; ++k)
+        s -= a.at(i, k) * std::conj(a.at(j, k));
+      a.at(i, j) = s * inv;
+    }
+  }
+  return true;
+}
+
+std::vector<cd> cholesky_solve(const ComplexMatrix& chol,
+                               const std::vector<cd>& b) {
+  const std::int64_t n = chol.n();
+  TVBF_REQUIRE(static_cast<std::int64_t>(b.size()) == n,
+               "rhs size does not match matrix dimension");
+  // Forward substitution L y = b.
+  std::vector<cd> y(b);
+  for (std::int64_t i = 0; i < n; ++i) {
+    cd s = y[static_cast<std::size_t>(i)];
+    for (std::int64_t k = 0; k < i; ++k)
+      s -= chol.at(i, k) * y[static_cast<std::size_t>(k)];
+    y[static_cast<std::size_t>(i)] = s / chol.at(i, i);
+  }
+  // Back substitution L^H x = y.
+  for (std::int64_t i = n - 1; i >= 0; --i) {
+    cd s = y[static_cast<std::size_t>(i)];
+    for (std::int64_t k = i + 1; k < n; ++k)
+      s -= std::conj(chol.at(k, i)) * y[static_cast<std::size_t>(k)];
+    y[static_cast<std::size_t>(i)] = s / chol.at(i, i);
+  }
+  return y;
+}
+
+std::vector<cd> solve_hpd(ComplexMatrix a, const std::vector<cd>& b) {
+  TVBF_REQUIRE(cholesky_inplace(a),
+               "matrix is not Hermitian positive definite");
+  return cholesky_solve(a, b);
+}
+
+}  // namespace tvbf::bf

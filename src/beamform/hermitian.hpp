@@ -1,0 +1,57 @@
+// Dense complex Hermitian linear algebra for the MVDR beamformer.
+//
+// MVDR solves R w = a per pixel where R is a (diagonally loaded) Hermitian
+// positive-definite spatial covariance; a Cholesky factorization is the
+// right tool (paper: "the matrix inversions pose challenges ... O(n^3)").
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace tvbf::bf {
+
+using cd = std::complex<double>;
+
+/// Row-major dense complex square matrix.
+class ComplexMatrix {
+ public:
+  ComplexMatrix() = default;
+  explicit ComplexMatrix(std::int64_t n);
+
+  std::int64_t n() const { return n_; }
+  cd& at(std::int64_t i, std::int64_t j) { return data_[i * n_ + j]; }
+  const cd& at(std::int64_t i, std::int64_t j) const { return data_[i * n_ + j]; }
+  std::vector<cd>& data() { return data_; }
+  const std::vector<cd>& data() const { return data_; }
+
+  /// Sets all entries to zero.
+  void clear();
+
+  /// A += alpha * v v^H (rank-1 Hermitian update).
+  void rank1_update(const cd* v, double alpha);
+
+  /// A += alpha * I.
+  void add_diagonal(double alpha);
+
+  /// Sum of the real parts of the diagonal.
+  double trace_real() const;
+
+ private:
+  std::int64_t n_ = 0;
+  std::vector<cd> data_;
+};
+
+/// In-place Cholesky factorization A = L L^H (lower triangle of `a` receives
+/// L). Returns false if A is not (numerically) positive definite.
+bool cholesky_inplace(ComplexMatrix& a);
+
+/// Solves L L^H x = b given the factor from cholesky_inplace.
+std::vector<cd> cholesky_solve(const ComplexMatrix& chol,
+                               const std::vector<cd>& b);
+
+/// Convenience: solves A x = b for Hermitian positive-definite A.
+/// Throws InvalidArgument if A is not positive definite.
+std::vector<cd> solve_hpd(ComplexMatrix a, const std::vector<cd>& b);
+
+}  // namespace tvbf::bf

@@ -1,0 +1,38 @@
+// Minimum Variance Distortionless Response beamformer.
+//
+// The paper's image-quality benchmark and the training label generator for
+// Tiny-VBF. Implements the standard medical-ultrasound variant (Synnevag et
+// al.): spatial smoothing over sliding subapertures, diagonal loading, and a
+// distortionless constraint toward broadside (ToF correction has already
+// steered the data, so the steering vector is all-ones).
+#pragma once
+
+#include "beamform/beamformer.hpp"
+
+namespace tvbf::bf {
+
+/// MVDR configuration.
+struct MvdrParams {
+  /// Subaperture length L for spatial smoothing; 0 picks nch / 2.
+  std::int64_t subaperture = 0;
+  /// Diagonal loading as a fraction of the average channel power
+  /// (delta * trace(R) / L added to the diagonal).
+  double diagonal_loading = 1.0 / 100.0;
+  /// Forward-backward averaging of the covariance (improves robustness).
+  bool forward_backward = true;
+};
+
+/// MVDR over an *analytic* ToF cube (throws on RF-only cubes: the complex
+/// covariance is required).
+class MvdrBeamformer : public Beamformer {
+ public:
+  explicit MvdrBeamformer(MvdrParams params = {});
+
+  std::string name() const override { return "MVDR"; }
+  Tensor beamform(const us::TofCube& cube) const override;
+
+ private:
+  MvdrParams params_;
+};
+
+}  // namespace tvbf::bf

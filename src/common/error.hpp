@@ -1,0 +1,53 @@
+// Error handling primitives shared across the Tiny-VBF library.
+//
+// Contract violations (bad shapes, out-of-range arguments) throw
+// tvbf::InvalidArgument; violated internal invariants throw tvbf::LogicError.
+// Following the C++ Core Guidelines (E.2, I.5) preconditions are checked at
+// API boundaries with TVBF_REQUIRE so misuse is reported where it happens.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tvbf {
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (a bug in this library).
+class LogicError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void raise_invalid(const char* cond, const char* file,
+                                       int line, const std::string& msg) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                        ": requirement failed (" + cond + "): " + msg);
+}
+[[noreturn]] inline void raise_logic(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  throw LogicError(std::string(file) + ":" + std::to_string(line) +
+                   ": invariant failed (" + cond + "): " + msg);
+}
+}  // namespace detail
+
+}  // namespace tvbf
+
+/// Precondition check at a public API boundary; always enabled.
+#define TVBF_REQUIRE(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::tvbf::detail::raise_invalid(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Internal invariant check; always enabled (cheap relative to DSP work).
+#define TVBF_ENSURE(cond, msg)                                      \
+  do {                                                              \
+    if (!(cond))                                                    \
+      ::tvbf::detail::raise_logic(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,178 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tvbf {
+namespace {
+
+/// Long-lived pool: workers block on a condition variable between jobs.
+/// A "job" is a shared chunked index range claimed via an atomic cursor.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  std::size_t thread_count() const { return threads_.size() + 1; }
+
+  void resize(std::size_t n) {
+    shutdown();
+    start(n);
+  }
+
+  void run(std::size_t begin, std::size_t end,
+           const std::function<void(std::size_t, std::size_t)>& fn,
+           std::size_t grain) {
+    {
+      std::lock_guard lock(mutex_);
+      job_begin_ = begin;
+      job_end_ = end;
+      job_fn_ = &fn;
+      job_grain_ = grain;
+      cursor_.store(begin, std::memory_order_relaxed);
+      pending_ = threads_.size();
+      ++generation_;
+      first_error_ = nullptr;
+    }
+    cv_.notify_all();
+    work();  // calling thread participates
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    job_fn_ = nullptr;
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+
+ private:
+  Pool() { start(std::max<std::size_t>(1, std::thread::hardware_concurrency())); }
+  ~Pool() { shutdown(); }
+
+  void start(std::size_t n) {
+    stop_ = false;
+    const std::size_t workers = n > 0 ? n - 1 : 0;
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    while (true) {
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+      }
+      work();
+      {
+        std::lock_guard lock(mutex_);
+        if (--pending_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  void work() {
+    const auto* fn = job_fn_;
+    if (fn == nullptr) return;
+    while (true) {
+      const std::size_t chunk_begin =
+          cursor_.fetch_add(job_grain_, std::memory_order_relaxed);
+      if (chunk_begin >= job_end_) break;
+      const std::size_t chunk_end = std::min(job_end_, chunk_begin + job_grain_);
+      try {
+        (*fn)(chunk_begin, chunk_end);
+      } catch (...) {
+        std::lock_guard lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+        cursor_.store(job_end_, std::memory_order_relaxed);  // abandon rest
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+
+  std::size_t job_begin_ = 0;
+  std::size_t job_end_ = 0;
+  std::size_t job_grain_ = 1;
+  const std::function<void(std::size_t, std::size_t)>* job_fn_ = nullptr;
+  std::atomic<std::size_t> cursor_{0};
+  std::exception_ptr first_error_;
+};
+
+// parallel_for must not be re-entered from a worker; detect with a flag.
+thread_local bool in_parallel_region = false;
+
+}  // namespace
+
+std::size_t hardware_threads() {
+  return Pool::instance().thread_count();
+}
+
+void set_thread_count(std::size_t n) {
+  Pool::instance().resize(
+      n == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+             : n);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t min_grain) {
+  if (begin >= end) return;
+  TVBF_REQUIRE(min_grain > 0, "parallel_for needs min_grain > 0");
+  const std::size_t n = end - begin;
+  const std::size_t threads = hardware_threads();
+  if (in_parallel_region || threads <= 1 || n <= min_grain) {
+    fn(begin, end);
+    return;
+  }
+  // Aim for ~4 chunks per thread for load balance, floor at min_grain.
+  const std::size_t grain =
+      std::max(min_grain, n / (threads * 4) + ((n % (threads * 4)) != 0));
+  in_parallel_region = true;
+  try {
+    Pool::instance().run(begin, end, fn, grain);
+  } catch (...) {
+    in_parallel_region = false;
+    throw;
+  }
+  in_parallel_region = false;
+}
+
+void parallel_for_each(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& fn,
+                       std::size_t min_grain) {
+  parallel_for(
+      begin, end,
+      [&fn](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) fn(i);
+      },
+      min_grain);
+}
+
+}  // namespace tvbf

@@ -1,0 +1,33 @@
+// Minimal work-sharing thread pool.
+//
+// The simulator, classical beamformers and matmul kernels are all
+// embarrassingly parallel over rows/pixels; parallel_for chunks an index
+// range across a process-wide pool. Exceptions thrown by workers are
+// captured and rethrown on the calling thread (first one wins).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace tvbf {
+
+/// Number of worker threads in the process-wide pool (>= 1).
+std::size_t hardware_threads();
+
+/// Overrides the pool size (test hook; 0 restores the hardware default).
+/// Must not be called concurrently with parallel_for.
+void set_thread_count(std::size_t n);
+
+/// Runs fn(begin..end) split into contiguous chunks across the pool.
+/// Falls back to serial execution for small ranges or single-thread pools.
+/// fn must be safe to invoke concurrently on disjoint ranges.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t min_grain = 256);
+
+/// Convenience wrapper calling fn(i) per index.
+void parallel_for_each(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& fn,
+                       std::size_t min_grain = 256);
+
+}  // namespace tvbf

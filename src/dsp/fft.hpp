@@ -1,0 +1,32 @@
+// Radix-2 FFT used by the Hilbert transform and spectral analysis.
+//
+// Double precision internally: the analytic-signal path feeds the MVDR
+// covariance estimator, where float round-off would bias the training labels.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace tvbf::dsp {
+
+/// Smallest power of two >= n (returns 1 for n == 0).
+std::size_t next_pow2(std::size_t n);
+
+/// In-place forward FFT; size must be a power of two.
+void fft_inplace(std::vector<std::complex<double>>& x);
+
+/// In-place inverse FFT (normalized by 1/N); size must be a power of two.
+void ifft_inplace(std::vector<std::complex<double>>& x);
+
+/// Out-of-place forward FFT.
+std::vector<std::complex<double>> fft(std::span<const std::complex<double>> x);
+
+/// Out-of-place inverse FFT.
+std::vector<std::complex<double>> ifft(std::span<const std::complex<double>> x);
+
+/// O(N^2) reference DFT for testing the fast path against.
+std::vector<std::complex<double>> dft_reference(
+    std::span<const std::complex<double>> x);
+
+}  // namespace tvbf::dsp

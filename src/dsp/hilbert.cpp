@@ -1,0 +1,99 @@
+#include "dsp/hilbert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "dsp/fft.hpp"
+
+namespace tvbf::dsp {
+
+std::vector<std::complex<double>> analytic_signal(std::span<const float> x) {
+  TVBF_REQUIRE(!x.empty(), "analytic_signal of empty input");
+  const std::size_t n = x.size();
+  const std::size_t nfft = next_pow2(n);
+  std::vector<std::complex<double>> spec(nfft, {0.0, 0.0});
+  for (std::size_t i = 0; i < n; ++i) spec[i] = {static_cast<double>(x[i]), 0.0};
+  fft_inplace(spec);
+  // Analytic-signal filter: double positive freqs, zero negative freqs,
+  // keep DC and (for even sizes) Nyquist untouched.
+  for (std::size_t k = 1; k < nfft / 2; ++k) spec[k] *= 2.0;
+  for (std::size_t k = nfft / 2 + 1; k < nfft; ++k) spec[k] = {0.0, 0.0};
+  ifft_inplace(spec);
+  spec.resize(n);
+  return spec;
+}
+
+std::vector<float> envelope(std::span<const float> x) {
+  const auto a = analytic_signal(x);
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out[i] = static_cast<float>(std::abs(a[i]));
+  return out;
+}
+
+std::vector<std::complex<double>> iq_demodulate(std::span<const float> x,
+                                                double fc, double fs) {
+  TVBF_REQUIRE(fc > 0.0 && fs > 0.0, "iq_demodulate needs fc > 0 and fs > 0");
+  TVBF_REQUIRE(fc < fs / 2.0, "center frequency must be below Nyquist");
+  auto a = analytic_signal(x);
+  const double w = 2.0 * M_PI * fc / fs;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double ph = -w * static_cast<double>(i);
+    a[i] *= std::complex<double>(std::cos(ph), std::sin(ph));
+  }
+  return a;
+}
+
+Tensor envelope_columns(const Tensor& rf) {
+  TVBF_REQUIRE(rf.rank() == 2, "envelope_columns expects (nz, nx)");
+  const std::int64_t nz = rf.dim(0), nx = rf.dim(1);
+  Tensor out({nz, nx});
+  parallel_for_each(0, static_cast<std::size_t>(nx), [&](std::size_t xi) {
+    std::vector<float> col(static_cast<std::size_t>(nz));
+    for (std::int64_t z = 0; z < nz; ++z)
+      col[static_cast<std::size_t>(z)] =
+          rf.raw()[z * nx + static_cast<std::int64_t>(xi)];
+    const auto env = envelope(col);
+    for (std::int64_t z = 0; z < nz; ++z)
+      out.raw()[z * nx + static_cast<std::int64_t>(xi)] =
+          env[static_cast<std::size_t>(z)];
+  }, /*min_grain=*/1);
+  return out;
+}
+
+Tensor envelope_iq(const Tensor& iq) {
+  TVBF_REQUIRE(iq.rank() == 3 && iq.dim(2) == 2,
+               "envelope_iq expects (nz, nx, 2), got " + to_string(iq.shape()));
+  const std::int64_t nz = iq.dim(0), nx = iq.dim(1);
+  Tensor out({nz, nx});
+  for (std::int64_t p = 0; p < nz * nx; ++p) {
+    const float i = iq.raw()[2 * p];
+    const float q = iq.raw()[2 * p + 1];
+    out.raw()[p] = std::sqrt(i * i + q * q);
+  }
+  return out;
+}
+
+Tensor log_compress(const Tensor& env, double dynamic_range_db) {
+  TVBF_REQUIRE(dynamic_range_db > 0.0, "dynamic range must be positive");
+  TVBF_REQUIRE(env.size() > 0, "log_compress of empty image");
+  float peak = 0.0f;
+  for (float v : env.data()) {
+    TVBF_REQUIRE(v >= 0.0f, "envelope values must be non-negative");
+    peak = std::max(peak, v);
+  }
+  TVBF_REQUIRE(peak > 0.0f, "log_compress: envelope is identically zero");
+  Tensor out(env.shape());
+  const float floor_db = static_cast<float>(-dynamic_range_db);
+  for (std::int64_t i = 0; i < env.size(); ++i) {
+    const float v = env.raw()[i];
+    const float db =
+        v > 0.0f ? 20.0f * std::log10(v / peak) : floor_db;
+    out.raw()[i] = std::clamp(db, floor_db, 0.0f);
+  }
+  return out;
+}
+
+}  // namespace tvbf::dsp

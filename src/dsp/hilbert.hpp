@@ -1,0 +1,41 @@
+// Analytic signal, envelope detection, IQ demodulation and log compression.
+//
+// These implement the post-beamforming chain of the paper: beamformed RF →
+// Hilbert transform → envelope → normalized log compression → B-mode, and the
+// pre-MVDR chain: per-channel RF → analytic signal → (optional) baseband IQ.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace tvbf::dsp {
+
+/// Analytic signal via the frequency-domain Hilbert transform.
+/// The input is zero-padded to a power of two internally; the returned
+/// signal has the original length. real(out) == input (up to round-off).
+std::vector<std::complex<double>> analytic_signal(std::span<const float> x);
+
+/// Envelope |analytic(x)| of a real signal.
+std::vector<float> envelope(std::span<const float> x);
+
+/// Baseband IQ demodulation: y[n] = analytic(x)[n] * exp(-j 2π fc n / fs).
+/// fc is the transducer center frequency, fs the sampling rate.
+std::vector<std::complex<double>> iq_demodulate(std::span<const float> x,
+                                                double fc, double fs);
+
+/// Per-column envelope of an image of beamformed RF: input (nz, nx) where
+/// each column is an axial RF line; output (nz, nx) envelope.
+Tensor envelope_columns(const Tensor& rf);
+
+/// Envelope of an IQ image stored (nz, nx, 2): out = sqrt(I^2 + Q^2).
+Tensor envelope_iq(const Tensor& iq);
+
+/// Log compression to a dB image clipped at -dynamic_range_db:
+/// out = 20 log10(env / max(env)), clamped to [-dr, 0].
+/// Throws InvalidArgument if the envelope is all zeros.
+Tensor log_compress(const Tensor& env, double dynamic_range_db = 60.0);
+
+}  // namespace tvbf::dsp

@@ -1,0 +1,35 @@
+#include "dsp/interpolate.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+namespace tvbf::dsp {
+
+float interp_linear(std::span<const float> x, double t) {
+  if (x.empty() || t < 0.0 || t > static_cast<double>(x.size() - 1))
+    return 0.0f;
+  const auto i0 = static_cast<std::size_t>(t);
+  if (i0 + 1 >= x.size()) return x[x.size() - 1];
+  const double frac = t - static_cast<double>(i0);
+  return static_cast<float>((1.0 - frac) * x[i0] + frac * x[i0 + 1]);
+}
+
+float interp_cubic(std::span<const float> x, double t) {
+  if (x.empty() || t < 0.0 || t > static_cast<double>(x.size() - 1))
+    return 0.0f;
+  const auto i1 = static_cast<std::size_t>(t);
+  if (i1 == 0 || i1 + 2 >= x.size()) return interp_linear(x, t);
+  const double u = t - static_cast<double>(i1);
+  const double p0 = x[i1 - 1], p1 = x[i1], p2 = x[i1 + 1], p3 = x[i1 + 2];
+  // Catmull-Rom spline.
+  const double a = -0.5 * p0 + 1.5 * p1 - 1.5 * p2 + 0.5 * p3;
+  const double b = p0 - 2.5 * p1 + 2.0 * p2 - 0.5 * p3;
+  const double c = -0.5 * p0 + 0.5 * p2;
+  return static_cast<float>(((a * u + b) * u + c) * u + p1);
+}
+
+float interp(std::span<const float> x, double t, Interp kind) {
+  return kind == Interp::kLinear ? interp_linear(x, t) : interp_cubic(x, t);
+}
+
+}  // namespace tvbf::dsp

@@ -1,0 +1,22 @@
+// Fractional-delay sampling used by time-of-flight correction.
+#pragma once
+
+#include <span>
+
+namespace tvbf::dsp {
+
+/// Linear interpolation of x at fractional index t; returns 0 outside
+/// [0, size-1] (samples beyond the acquisition window carry no signal).
+float interp_linear(std::span<const float> x, double t);
+
+/// Catmull-Rom cubic interpolation at fractional index t with the same
+/// out-of-range convention; falls back to linear near the edges.
+float interp_cubic(std::span<const float> x, double t);
+
+/// Interpolation flavors selectable in the ToF-correction stage.
+enum class Interp { kLinear, kCubic };
+
+/// Dispatches on the chosen flavor.
+float interp(std::span<const float> x, double t, Interp kind);
+
+}  // namespace tvbf::dsp

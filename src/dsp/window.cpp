@@ -1,0 +1,45 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tvbf::dsp {
+
+float window_at(WindowKind kind, double u) {
+  if (u < 0.0 || u > 1.0) return 0.0f;
+  switch (kind) {
+    case WindowKind::kBoxcar:
+      return 1.0f;
+    case WindowKind::kHann:
+      return static_cast<float>(0.5 - 0.5 * std::cos(2.0 * M_PI * u));
+    case WindowKind::kHamming:
+      return static_cast<float>(0.54 - 0.46 * std::cos(2.0 * M_PI * u));
+    case WindowKind::kTukey25: {
+      // Tukey with 25% taper: flat in the middle, cosine ramps at the edges.
+      const double alpha = 0.25;
+      if (u < alpha / 2.0)
+        return static_cast<float>(
+            0.5 * (1.0 + std::cos(M_PI * (2.0 * u / alpha - 1.0))));
+      if (u > 1.0 - alpha / 2.0)
+        return static_cast<float>(
+            0.5 * (1.0 + std::cos(M_PI * (2.0 * (u - 1.0) / alpha + 1.0))));
+      return 1.0f;
+    }
+  }
+  return 0.0f;  // unreachable
+}
+
+std::vector<float> make_window(WindowKind kind, std::size_t n) {
+  TVBF_REQUIRE(n > 0, "window length must be positive");
+  std::vector<float> w(n);
+  if (n == 1) {
+    w[0] = 1.0f;
+    return w;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    w[i] = window_at(kind, static_cast<double>(i) / static_cast<double>(n - 1));
+  return w;
+}
+
+}  // namespace tvbf::dsp

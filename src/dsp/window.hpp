@@ -1,0 +1,21 @@
+// Apodization window functions for receive beamforming.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tvbf::dsp {
+
+/// Window families supported by the beamformers.
+enum class WindowKind { kBoxcar, kHann, kHamming, kTukey25 };
+
+/// Samples an n-point symmetric window of the given kind.
+/// n == 1 returns {1}. Throws on n == 0.
+std::vector<float> make_window(WindowKind kind, std::size_t n);
+
+/// Window value at normalized position u in [0, 1] (continuous form used by
+/// the dynamic-aperture apodization, where the aperture width varies per
+/// pixel). Returns 0 outside [0, 1].
+float window_at(WindowKind kind, double u);
+
+}  // namespace tvbf::dsp

@@ -1,0 +1,66 @@
+#include "io/writers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace tvbf::io {
+
+void write_pgm_db(const std::string& path, const Tensor& db_image,
+                  double dynamic_range_db) {
+  TVBF_REQUIRE(db_image.rank() == 2, "PGM writer expects a 2-D image");
+  TVBF_REQUIRE(dynamic_range_db > 0.0, "dynamic range must be positive");
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  TVBF_REQUIRE(os.is_open(), "cannot open '" + path + "' for writing");
+  const std::int64_t h = db_image.dim(0), w = db_image.dim(1);
+  os << "P5\n" << w << ' ' << h << "\n255\n";
+  std::vector<unsigned char> row(static_cast<std::size_t>(w));
+  for (std::int64_t i = 0; i < h; ++i) {
+    for (std::int64_t j = 0; j < w; ++j) {
+      const double v = db_image.raw()[i * w + j];
+      const double t = std::clamp(1.0 + v / dynamic_range_db, 0.0, 1.0);
+      row[static_cast<std::size_t>(j)] =
+          static_cast<unsigned char>(std::lround(t * 255.0));
+    }
+    os.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(row.size()));
+  }
+  TVBF_REQUIRE(static_cast<bool>(os), "write to '" + path + "' failed");
+}
+
+void write_csv(const std::string& path,
+               const std::vector<std::string>& column_names,
+               const std::vector<std::vector<double>>& columns) {
+  TVBF_REQUIRE(!columns.empty(), "CSV writer needs at least one column");
+  TVBF_REQUIRE(column_names.size() == columns.size(),
+               "CSV header/column count mismatch");
+  const std::size_t rows = columns.front().size();
+  for (const auto& c : columns)
+    TVBF_REQUIRE(c.size() == rows, "CSV columns have unequal lengths");
+  std::ofstream os(path, std::ios::trunc);
+  TVBF_REQUIRE(os.is_open(), "cannot open '" + path + "' for writing");
+  for (std::size_t c = 0; c < column_names.size(); ++c) {
+    if (c) os << ',';
+    os << column_names[c];
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c) os << ',';
+      os << columns[c][r];
+    }
+    os << '\n';
+  }
+  TVBF_REQUIRE(static_cast<bool>(os), "write to '" + path + "' failed");
+}
+
+void ensure_directory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  TVBF_REQUIRE(!ec, "cannot create directory '" + path + "': " + ec.message());
+}
+
+}  // namespace tvbf::io

@@ -1,0 +1,25 @@
+// Artifact writers: PGM grayscale images (the B-mode figures) and CSV series
+// (profiles, tables). The benches write figure data into bench_out/.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace tvbf::io {
+
+/// Writes a dB image (values in [-dr, 0]) as an 8-bit binary PGM, mapping
+/// -dynamic_range -> 0 and 0 dB -> 255.
+void write_pgm_db(const std::string& path, const Tensor& db_image,
+                  double dynamic_range_db = 60.0);
+
+/// Writes named columns of equal length as CSV with a header row.
+void write_csv(const std::string& path,
+               const std::vector<std::string>& column_names,
+               const std::vector<std::vector<double>>& columns);
+
+/// Creates a directory (and parents); no-op if it exists.
+void ensure_directory(const std::string& path);
+
+}  // namespace tvbf::io

@@ -1,0 +1,170 @@
+#include "metrics/image_quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/hilbert.hpp"
+
+namespace tvbf::metrics {
+
+Tensor envelope_of_iq(const Tensor& iq) { return dsp::envelope_iq(iq); }
+
+Tensor bmode_db(const Tensor& env, double dynamic_range_db) {
+  return dsp::log_compress(env, dynamic_range_db);
+}
+
+namespace {
+
+RoiStats stats_of(const std::vector<float>& samples) {
+  RoiStats s;
+  s.count = static_cast<std::int64_t>(samples.size());
+  if (samples.empty()) return s;
+  double acc = 0.0;
+  for (float v : samples) acc += v;
+  s.mean = acc / static_cast<double>(samples.size());
+  double var = 0.0;
+  for (float v : samples) {
+    const double d = v - s.mean;
+    var += d * d;
+  }
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+/// Collects pixels with r_in <= dist(center) <= r_out.
+std::vector<float> ring_samples(const Tensor& image, const us::ImagingGrid& grid,
+                                double cx, double cz, double r_in,
+                                double r_out) {
+  TVBF_REQUIRE(image.rank() == 2, "ROI sampling expects a 2-D image");
+  TVBF_REQUIRE(image.dim(0) == grid.nz && image.dim(1) == grid.nx,
+               "image shape does not match the grid");
+  TVBF_REQUIRE(r_out > 0.0 && r_in >= 0.0 && r_in < r_out,
+               "invalid ROI radii");
+  std::vector<float> out;
+  for (std::int64_t iz = 0; iz < grid.nz; ++iz) {
+    const double dz = grid.z_at(iz) - cz;
+    if (std::fabs(dz) > r_out) continue;
+    for (std::int64_t ix = 0; ix < grid.nx; ++ix) {
+      const double dx = grid.x_at(ix) - cx;
+      const double r2 = dx * dx + dz * dz;
+      if (r2 <= r_out * r_out && r2 >= r_in * r_in)
+        out.push_back(image.raw()[iz * grid.nx + ix]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> disc_samples(const Tensor& image, const us::ImagingGrid& grid,
+                                double cx, double cz, double radius) {
+  return ring_samples(image, grid, cx, cz, 0.0, radius);
+}
+
+std::vector<float> annulus_samples(const Tensor& image,
+                                   const us::ImagingGrid& grid, double cx,
+                                   double cz, double r_in, double r_out) {
+  return ring_samples(image, grid, cx, cz, r_in, r_out);
+}
+
+RoiStats disc_stats(const Tensor& image, const us::ImagingGrid& grid, double cx,
+                    double cz, double radius) {
+  return stats_of(disc_samples(image, grid, cx, cz, radius));
+}
+
+RoiStats annulus_stats(const Tensor& image, const us::ImagingGrid& grid,
+                       double cx, double cz, double r_in, double r_out) {
+  return stats_of(annulus_samples(image, grid, cx, cz, r_in, r_out));
+}
+
+double gcnr_from_samples(const std::vector<float>& inside,
+                         const std::vector<float>& outside,
+                         std::int64_t bins) {
+  TVBF_REQUIRE(!inside.empty() && !outside.empty(),
+               "GCNR needs non-empty sample sets");
+  TVBF_REQUIRE(bins >= 2, "GCNR needs >= 2 histogram bins");
+  float lo = inside[0], hi = inside[0];
+  for (float v : inside) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (float v : outside) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) return 0.0;  // identical constant distributions overlap fully
+  std::vector<double> h_in(static_cast<std::size_t>(bins), 0.0);
+  std::vector<double> h_out(static_cast<std::size_t>(bins), 0.0);
+  const double scale = static_cast<double>(bins) / (hi - lo);
+  auto bin_of = [&](float v) {
+    auto b = static_cast<std::int64_t>((v - lo) * scale);
+    return std::clamp<std::int64_t>(b, 0, bins - 1);
+  };
+  for (float v : inside)
+    h_in[static_cast<std::size_t>(bin_of(v))] +=
+        1.0 / static_cast<double>(inside.size());
+  for (float v : outside)
+    h_out[static_cast<std::size_t>(bin_of(v))] +=
+        1.0 / static_cast<double>(outside.size());
+  double overlap = 0.0;
+  for (std::int64_t b = 0; b < bins; ++b)
+    overlap += std::min(h_in[static_cast<std::size_t>(b)],
+                        h_out[static_cast<std::size_t>(b)]);
+  return 1.0 - overlap;
+}
+
+ContrastMetrics contrast_metrics(const Tensor& env, const us::ImagingGrid& grid,
+                                 const us::Cyst& cyst,
+                                 double dynamic_range_db) {
+  const double r_roi = 0.7 * cyst.radius;
+  const double r_in = 1.3 * cyst.radius;
+  const double r_out = 2.2 * cyst.radius;
+
+  // CR on the linear envelope.
+  const auto env_in = disc_samples(env, grid, cyst.x, cyst.z, r_roi);
+  const auto env_out = annulus_samples(env, grid, cyst.x, cyst.z, r_in, r_out);
+  TVBF_REQUIRE(!env_in.empty() && !env_out.empty(),
+               "cyst ROI lies outside the imaging grid");
+  const RoiStats lin_in = disc_stats(env, grid, cyst.x, cyst.z, r_roi);
+  const RoiStats lin_out =
+      annulus_stats(env, grid, cyst.x, cyst.z, r_in, r_out);
+  TVBF_REQUIRE(lin_in.mean > 0.0 && lin_out.mean > 0.0,
+               "degenerate envelope inside the contrast ROIs");
+
+  // CNR / GCNR on the dB image.
+  const Tensor db = bmode_db(env, dynamic_range_db);
+  const RoiStats db_in = disc_stats(db, grid, cyst.x, cyst.z, r_roi);
+  const RoiStats db_out = annulus_stats(db, grid, cyst.x, cyst.z, r_in, r_out);
+  const auto db_in_s = disc_samples(db, grid, cyst.x, cyst.z, r_roi);
+  const auto db_out_s = annulus_samples(db, grid, cyst.x, cyst.z, r_in, r_out);
+
+  ContrastMetrics m;
+  m.cr_db = 20.0 * std::log10(lin_out.mean / lin_in.mean);
+  const double denom = std::sqrt(db_in.stddev * db_in.stddev +
+                                 db_out.stddev * db_out.stddev);
+  m.cnr = denom > 0.0 ? std::fabs(db_out.mean - db_in.mean) / denom : 0.0;
+  m.gcnr = gcnr_from_samples(db_in_s, db_out_s);
+  return m;
+}
+
+ContrastMetrics mean_contrast(const Tensor& env, const us::ImagingGrid& grid,
+                              const std::vector<us::Cyst>& cysts,
+                              double dynamic_range_db) {
+  TVBF_REQUIRE(!cysts.empty(), "mean_contrast needs at least one cyst");
+  ContrastMetrics acc;
+  for (const auto& c : cysts) {
+    const ContrastMetrics m = contrast_metrics(env, grid, c, dynamic_range_db);
+    acc.cr_db += m.cr_db;
+    acc.cnr += m.cnr;
+    acc.gcnr += m.gcnr;
+  }
+  const auto n = static_cast<double>(cysts.size());
+  acc.cr_db /= n;
+  acc.cnr /= n;
+  acc.gcnr /= n;
+  return acc;
+}
+
+}  // namespace tvbf::metrics

@@ -1,0 +1,75 @@
+// Contrast metrics of the PICMUS evaluation: CR, CNR and GCNR over
+// cyst/background regions of interest (Tables I and V of the paper).
+//
+// Conventions (documented because the literature varies):
+//  * CR is computed on the linear envelope: CR = 20 log10(mu_bg / mu_cyst).
+//  * CNR and GCNR are computed on the log-compressed (dB) image, where
+//    speckle statistics are approximately Gaussian — this matches the
+//    magnitude of the values reported in the paper (CNR ~ 1-2.5).
+//  * The cyst ROI is a disc of 70% cyst radius; the background ROI is a
+//    concentric annulus (1.3 r .. 2.2 r) clipped to the image.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "us/grid.hpp"
+#include "us/phantom.hpp"
+
+namespace tvbf::metrics {
+
+/// Sample statistics of an ROI.
+struct RoiStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::int64_t count = 0;
+};
+
+/// Contrast metrics for one cyst.
+struct ContrastMetrics {
+  double cr_db = 0.0;   ///< contrast ratio [dB]
+  double cnr = 0.0;     ///< contrast-to-noise ratio (dB-domain)
+  double gcnr = 0.0;    ///< generalized CNR in [0, 1]
+};
+
+/// Envelope image from an IQ image (nz, nx, 2).
+Tensor envelope_of_iq(const Tensor& iq);
+
+/// B-mode (dB) image from a linear envelope; peak-normalized, clipped.
+Tensor bmode_db(const Tensor& env, double dynamic_range_db = 60.0);
+
+/// Statistics over a disc ROI of the image (values: any 2-D tensor).
+RoiStats disc_stats(const Tensor& image, const us::ImagingGrid& grid,
+                    double cx, double cz, double radius);
+
+/// Statistics over an annulus (r_in .. r_out) ROI.
+RoiStats annulus_stats(const Tensor& image, const us::ImagingGrid& grid,
+                       double cx, double cz, double r_in, double r_out);
+
+/// Contrast metrics for a single cyst from the *linear envelope* image.
+/// Throws InvalidArgument if either ROI is empty (cyst outside the grid).
+ContrastMetrics contrast_metrics(const Tensor& env, const us::ImagingGrid& grid,
+                                 const us::Cyst& cyst,
+                                 double dynamic_range_db = 60.0);
+
+/// Mean contrast metrics across all cysts of a phantom.
+ContrastMetrics mean_contrast(const Tensor& env, const us::ImagingGrid& grid,
+                              const std::vector<us::Cyst>& cysts,
+                              double dynamic_range_db = 60.0);
+
+/// GCNR between two sample sets (1 - histogram overlap, shared bins).
+double gcnr_from_samples(const std::vector<float>& inside,
+                         const std::vector<float>& outside,
+                         std::int64_t bins = 100);
+
+/// Raw pixel samples of a disc ROI (helper for GCNR and tests).
+std::vector<float> disc_samples(const Tensor& image, const us::ImagingGrid& grid,
+                                double cx, double cz, double radius);
+
+/// Raw pixel samples of an annulus ROI.
+std::vector<float> annulus_samples(const Tensor& image,
+                                   const us::ImagingGrid& grid, double cx,
+                                   double cz, double r_in, double r_out);
+
+}  // namespace tvbf::metrics

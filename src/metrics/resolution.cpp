@@ -1,0 +1,136 @@
+#include "metrics/resolution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/hilbert.hpp"
+
+namespace tvbf::metrics {
+namespace {
+
+/// Sub-pixel half-maximum width of a 1-D profile around index `peak`.
+/// Returns width in samples, or a negative value when a crossing is missing.
+double fwhm_samples(const std::vector<float>& p, std::int64_t peak) {
+  const float half = p[static_cast<std::size_t>(peak)] * 0.5f;
+  if (half <= 0.0f) return -1.0;
+  const auto n = static_cast<std::int64_t>(p.size());
+  // Walk left.
+  double left = -1.0;
+  for (std::int64_t i = peak; i > 0; --i) {
+    const float a = p[static_cast<std::size_t>(i - 1)];
+    const float b = p[static_cast<std::size_t>(i)];
+    if (a <= half && b >= half) {
+      const double frac = (b - half) / std::max(1e-12f, b - a);
+      left = static_cast<double>(i) - frac;
+      break;
+    }
+  }
+  // Walk right.
+  double right = -1.0;
+  for (std::int64_t i = peak; i + 1 < n; ++i) {
+    const float a = p[static_cast<std::size_t>(i)];
+    const float b = p[static_cast<std::size_t>(i + 1)];
+    if (a >= half && b <= half) {
+      const double frac = (a - half) / std::max(1e-12f, a - b);
+      right = static_cast<double>(i) + frac;
+      break;
+    }
+  }
+  if (left < 0.0 || right < 0.0 || right <= left) return -1.0;
+  return right - left;
+}
+
+}  // namespace
+
+PsfWidths psf_widths(const Tensor& env, const us::ImagingGrid& grid, double x,
+                     double z, double search_mm) {
+  TVBF_REQUIRE(env.rank() == 2 && env.dim(0) == grid.nz && env.dim(1) == grid.nx,
+               "envelope shape does not match the grid");
+  TVBF_REQUIRE(search_mm > 0.0, "search window must be positive");
+  PsfWidths out;
+  // Locate the PSF peak within the search window around the nominal point.
+  const double search_m = search_mm * 1e-3;
+  const std::int64_t z_lo = grid.row_of(z - search_m);
+  const std::int64_t z_hi = grid.row_of(z + search_m);
+  const std::int64_t x_lo = grid.column_of(x - search_m);
+  const std::int64_t x_hi = grid.column_of(x + search_m);
+  std::int64_t pz = -1, px = -1;
+  float peak = 0.0f;
+  for (std::int64_t iz = z_lo; iz <= z_hi; ++iz)
+    for (std::int64_t ix = x_lo; ix <= x_hi; ++ix) {
+      const float v = env.raw()[iz * grid.nx + ix];
+      if (v > peak) {
+        peak = v;
+        pz = iz;
+        px = ix;
+      }
+    }
+  if (pz < 0 || peak <= 0.0f) return out;  // no energy near the point
+
+  // Axial cut through the peak column.
+  std::vector<float> axial(static_cast<std::size_t>(grid.nz));
+  for (std::int64_t iz = 0; iz < grid.nz; ++iz)
+    axial[static_cast<std::size_t>(iz)] = env.raw()[iz * grid.nx + px];
+  const double w_ax = fwhm_samples(axial, pz);
+
+  // Lateral cut through the peak row.
+  std::vector<float> lateral(static_cast<std::size_t>(grid.nx));
+  for (std::int64_t ix = 0; ix < grid.nx; ++ix)
+    lateral[static_cast<std::size_t>(ix)] = env.raw()[pz * grid.nx + ix];
+  const double w_lat = fwhm_samples(lateral, px);
+
+  if (w_ax <= 0.0 || w_lat <= 0.0) return out;
+  out.axial_mm = w_ax * grid.dz * 1e3;
+  out.lateral_mm = w_lat * grid.dx * 1e3;
+  out.valid = true;
+  return out;
+}
+
+PsfWidths mean_psf_widths(const Tensor& env, const us::ImagingGrid& grid,
+                          const std::vector<us::Scatterer>& points,
+                          double search_mm) {
+  TVBF_REQUIRE(!points.empty(), "mean_psf_widths needs at least one point");
+  PsfWidths acc;
+  std::int64_t valid = 0;
+  for (const auto& p : points) {
+    const PsfWidths w = psf_widths(env, grid, p.x, p.z, search_mm);
+    if (!w.valid) continue;
+    acc.axial_mm += w.axial_mm;
+    acc.lateral_mm += w.lateral_mm;
+    ++valid;
+  }
+  TVBF_REQUIRE(valid > 0, "no point target produced a measurable PSF");
+  acc.axial_mm /= static_cast<double>(valid);
+  acc.lateral_mm /= static_cast<double>(valid);
+  acc.valid = true;
+  return acc;
+}
+
+std::vector<float> lateral_profile(const Tensor& env,
+                                   const us::ImagingGrid& grid, double z) {
+  TVBF_REQUIRE(env.rank() == 2 && env.dim(0) == grid.nz && env.dim(1) == grid.nx,
+               "envelope shape does not match the grid");
+  const std::int64_t iz = grid.row_of(z);
+  std::vector<float> row(static_cast<std::size_t>(grid.nx));
+  float peak = 0.0f;
+  for (std::int64_t ix = 0; ix < grid.nx; ++ix) {
+    row[static_cast<std::size_t>(ix)] = env.raw()[iz * grid.nx + ix];
+    peak = std::max(peak, row[static_cast<std::size_t>(ix)]);
+  }
+  if (peak > 0.0f)
+    for (auto& v : row) v /= peak;
+  return row;
+}
+
+std::vector<float> lateral_profile_db(const Tensor& env,
+                                      const us::ImagingGrid& grid, double z,
+                                      double dynamic_range_db) {
+  const Tensor db = dsp::log_compress(env, dynamic_range_db);
+  const std::int64_t iz = grid.row_of(z);
+  std::vector<float> row(static_cast<std::size_t>(grid.nx));
+  for (std::int64_t ix = 0; ix < grid.nx; ++ix)
+    row[static_cast<std::size_t>(ix)] = db.raw()[iz * grid.nx + ix];
+  return row;
+}
+
+}  // namespace tvbf::metrics

@@ -1,0 +1,45 @@
+// Resolution metrics: axial/lateral FWHM of the point spread function
+// (Table II and Table IV of the paper) and lateral profile extraction
+// (Figs 9b, 12 and 14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "us/grid.hpp"
+#include "us/phantom.hpp"
+
+namespace tvbf::metrics {
+
+/// FWHM measurement of one point target.
+struct PsfWidths {
+  double axial_mm = 0.0;
+  double lateral_mm = 0.0;
+  bool valid = false;  ///< false when the peak or -6 dB crossings were not found
+};
+
+/// Measures the -6 dB (half-amplitude) widths of the PSF around the point
+/// target nearest to (x, z). The peak is searched within `search_mm` of the
+/// nominal position; widths use sub-pixel linear interpolation of the
+/// half-maximum crossings.
+PsfWidths psf_widths(const Tensor& env, const us::ImagingGrid& grid, double x,
+                     double z, double search_mm = 1.5);
+
+/// Mean FWHM across a list of point targets; invalid points are skipped.
+/// Throws InvalidArgument when no point yields a valid measurement.
+PsfWidths mean_psf_widths(const Tensor& env, const us::ImagingGrid& grid,
+                          const std::vector<us::Scatterer>& points,
+                          double search_mm = 1.5);
+
+/// Lateral amplitude profile (normalized to its own maximum) through the
+/// image row nearest to depth z — the "lateral point spread function" plots.
+std::vector<float> lateral_profile(const Tensor& env,
+                                   const us::ImagingGrid& grid, double z);
+
+/// Lateral profile in dB relative to the image peak (for cyst edge plots).
+std::vector<float> lateral_profile_db(const Tensor& env,
+                                      const us::ImagingGrid& grid, double z,
+                                      double dynamic_range_db = 60.0);
+
+}  // namespace tvbf::metrics

@@ -1,0 +1,52 @@
+// Training-set construction: simulated acquisitions paired with MVDR labels.
+//
+// Mirrors the paper's data pipeline: single-angle plane-wave RF data is
+// ToF-corrected and normalized to [-1, 1]; the training target is the MVDR
+// beamformed IQ-demodulated image (normalized the same way) computed from
+// the analytic ToF cube.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "beamform/mvdr.hpp"
+#include "tensor/tensor.hpp"
+#include "us/grid.hpp"
+#include "us/phantom.hpp"
+#include "us/simulator.hpp"
+
+namespace tvbf::models {
+
+/// One supervised training example.
+struct TrainingFrame {
+  Tensor input;      ///< (nz, nx, nch) normalized ToF-corrected RF
+  Tensor target_iq;  ///< (nz, nx, 2) normalized MVDR IQ (Tiny-VBF label)
+  Tensor target_rf;  ///< (nz, nx) real part of the label (CNN/FCNN label)
+};
+
+/// Dataset generation parameters.
+struct DatasetParams {
+  us::SimParams sim = us::SimParams::in_silico();
+  bf::MvdrParams mvdr;
+  double steering_angle_rad = 0.0;
+  std::uint64_t seed = 42;
+  /// When true, every other frame is acquired with the in-vitro preset
+  /// (noise, attenuation, gain spread) so trained models generalize to the
+  /// experimental-phantom evaluation — the stand-in for the paper's CUBDL
+  /// fine-tuning stage.
+  bool alternate_in_vitro = false;
+};
+
+/// Builds one frame from an explicit phantom.
+TrainingFrame make_frame(const us::Probe& probe, const us::ImagingGrid& grid,
+                         const us::Phantom& phantom,
+                         const DatasetParams& params);
+
+/// Builds `count` frames from random training phantoms (speckle + cysts +
+/// point targets), seeded deterministically from params.seed.
+std::vector<TrainingFrame> make_training_set(const us::Probe& probe,
+                                             const us::ImagingGrid& grid,
+                                             std::int64_t count,
+                                             const DatasetParams& params);
+
+}  // namespace tvbf::models

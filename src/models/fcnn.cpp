@@ -1,0 +1,56 @@
+#include "models/fcnn.hpp"
+
+namespace tvbf::models {
+
+void FcnnConfig::validate() const {
+  TVBF_REQUIRE(in_channels > 0 && hidden > 0,
+               "FCNN dimensions must be positive");
+}
+
+FcnnConfig FcnnConfig::paper() { return FcnnConfig{}; }
+
+FcnnConfig FcnnConfig::test(std::int64_t channels) {
+  FcnnConfig c;
+  c.in_channels = channels;
+  c.hidden = std::max<std::int64_t>(4, channels / 2);
+  return c;
+}
+
+Fcnn::Fcnn(FcnnConfig config, Rng& rng) : config_(config) {
+  config_.validate();
+  fc1_ = std::make_unique<nn::Dense>(config_.in_channels, config_.hidden, rng);
+  fc2_ = std::make_unique<nn::Dense>(config_.hidden, config_.in_channels, rng);
+}
+
+nn::Variable Fcnn::forward(const nn::Variable& x) const {
+  const auto& s = x.shape();
+  TVBF_REQUIRE(s.size() == 3 && s[2] == config_.in_channels,
+               "Fcnn expects (nz, nx, nch=" +
+                   std::to_string(config_.in_channels) + "), got " +
+                   to_string(s));
+  const nn::Variable w = fc2_->forward(nn::relu(fc1_->forward(x)));
+  return nn::sum_last(nn::mul(w, x));
+}
+
+Tensor Fcnn::infer(const Tensor& input) const {
+  return forward(nn::constant(input)).value();
+}
+
+std::vector<nn::Variable> Fcnn::parameters() const {
+  std::vector<nn::Variable> out = fc1_->parameters();
+  const auto p2 = fc2_->parameters();
+  out.insert(out.end(), p2.begin(), p2.end());
+  return out;
+}
+
+std::int64_t Fcnn::ops_per_frame(std::int64_t nz, std::int64_t nx) const {
+  TVBF_REQUIRE(nz > 0 && nx > 0, "ops_per_frame needs positive frame dims");
+  const std::int64_t pix = nz * nx;
+  std::int64_t ops = 0;
+  ops += 2 * config_.in_channels * config_.hidden * pix;  // fc1
+  ops += 2 * config_.hidden * config_.in_channels * pix;  // fc2
+  ops += 2 * config_.in_channels * pix;                   // weight-sum
+  return ops;
+}
+
+}  // namespace tvbf::models

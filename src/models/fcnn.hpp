@@ -1,0 +1,50 @@
+// FCNN baseline beamformer (Luijten et al., IEEE TMI 2020 — ref [6]).
+//
+// A per-pixel fully connected network maps the channel vector of each pixel
+// to per-channel apodization weights (adaptive-beamforming-by-deep-learning);
+// the beamformed RF value is sum_ch(w .* x). As with Tiny-CNN the Hilbert
+// transform to IQ is applied outside the network.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/modules.hpp"
+
+namespace tvbf::models {
+
+/// FCNN hyper-parameters.
+struct FcnnConfig {
+  std::int64_t in_channels = 128;
+  std::int64_t hidden = 64;  ///< bottleneck width (paper [6] uses nch/2)
+
+  void validate() const;
+
+  static FcnnConfig paper();
+  static FcnnConfig test(std::int64_t channels = 16);
+};
+
+/// The FCNN network.
+class Fcnn : public nn::Module {
+ public:
+  Fcnn(FcnnConfig config, Rng& rng);
+
+  /// (nz, nx, nch) -> beamformed RF (nz, nx). Differentiable.
+  nn::Variable forward(const nn::Variable& x) const;
+
+  Tensor infer(const Tensor& input) const;
+
+  std::vector<nn::Variable> parameters() const override;
+  const FcnnConfig& config() const { return config_; }
+
+  /// 2-ops-per-MAC count for one (nz, nx) frame.
+  std::int64_t ops_per_frame(std::int64_t nz, std::int64_t nx) const;
+
+ private:
+  FcnnConfig config_;
+  std::unique_ptr<nn::Dense> fc1_, fc2_;
+};
+
+}  // namespace tvbf::models

@@ -1,0 +1,67 @@
+#include "models/neural_beamformer.hpp"
+
+#include "common/parallel.hpp"
+#include "dsp/hilbert.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace tvbf::models {
+
+Tensor normalized_input(const us::TofCube& cube) {
+  TVBF_REQUIRE(cube.real.rank() == 3, "cube holds no data");
+  Tensor in = cube.real;
+  const float m = max_abs(in);
+  if (m > 0.0f) {
+    const float inv = 1.0f / m;
+    for (auto& v : in.data()) v *= inv;
+  }
+  return in;
+}
+
+Tensor rf_image_to_iq(const Tensor& rf) {
+  TVBF_REQUIRE(rf.rank() == 2, "rf_image_to_iq expects (nz, nx)");
+  const std::int64_t nz = rf.dim(0), nx = rf.dim(1);
+  Tensor iq({nz, nx, 2});
+  parallel_for_each(0, static_cast<std::size_t>(nx), [&](std::size_t xi) {
+    std::vector<float> col(static_cast<std::size_t>(nz));
+    for (std::int64_t z = 0; z < nz; ++z)
+      col[static_cast<std::size_t>(z)] =
+          rf.raw()[z * nx + static_cast<std::int64_t>(xi)];
+    const auto a = dsp::analytic_signal(col);
+    for (std::int64_t z = 0; z < nz; ++z) {
+      iq.raw()[(z * nx + static_cast<std::int64_t>(xi)) * 2] =
+          static_cast<float>(a[static_cast<std::size_t>(z)].real());
+      iq.raw()[(z * nx + static_cast<std::int64_t>(xi)) * 2 + 1] =
+          static_cast<float>(a[static_cast<std::size_t>(z)].imag());
+    }
+  }, /*min_grain=*/1);
+  return iq;
+}
+
+TinyVbfBeamformer::TinyVbfBeamformer(std::shared_ptr<const TinyVbf> model)
+    : model_(std::move(model)) {
+  TVBF_REQUIRE(model_ != nullptr, "TinyVbfBeamformer needs a model");
+}
+
+Tensor TinyVbfBeamformer::beamform(const us::TofCube& cube) const {
+  return model_->infer(normalized_input(cube));
+}
+
+TinyCnnBeamformer::TinyCnnBeamformer(std::shared_ptr<const TinyCnn> model)
+    : model_(std::move(model)) {
+  TVBF_REQUIRE(model_ != nullptr, "TinyCnnBeamformer needs a model");
+}
+
+Tensor TinyCnnBeamformer::beamform(const us::TofCube& cube) const {
+  return rf_image_to_iq(model_->infer(normalized_input(cube)));
+}
+
+FcnnBeamformer::FcnnBeamformer(std::shared_ptr<const Fcnn> model)
+    : model_(std::move(model)) {
+  TVBF_REQUIRE(model_ != nullptr, "FcnnBeamformer needs a model");
+}
+
+Tensor FcnnBeamformer::beamform(const us::TofCube& cube) const {
+  return rf_image_to_iq(model_->infer(normalized_input(cube)));
+}
+
+}  // namespace tvbf::models

@@ -1,0 +1,62 @@
+// Adapters exposing the learned models through the common Beamformer
+// interface, so the metric/benchmark pipeline treats DAS, MVDR and the
+// networks identically.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "beamform/beamformer.hpp"
+#include "models/fcnn.hpp"
+#include "models/tiny_cnn.hpp"
+#include "models/tiny_vbf.hpp"
+
+namespace tvbf::models {
+
+/// Tiny-VBF as a Beamformer: normalizes the RF cube to [-1, 1] and runs the
+/// network; the network output is already an IQ image.
+class TinyVbfBeamformer : public bf::Beamformer {
+ public:
+  explicit TinyVbfBeamformer(std::shared_ptr<const TinyVbf> model);
+
+  std::string name() const override { return "Tiny-VBF"; }
+  Tensor beamform(const us::TofCube& cube) const override;
+
+ private:
+  std::shared_ptr<const TinyVbf> model_;
+};
+
+/// Tiny-CNN as a Beamformer: network emits beamformed RF; a per-column
+/// Hilbert transform produces the IQ image (paper Section II).
+class TinyCnnBeamformer : public bf::Beamformer {
+ public:
+  explicit TinyCnnBeamformer(std::shared_ptr<const TinyCnn> model);
+
+  std::string name() const override { return "Tiny-CNN"; }
+  Tensor beamform(const us::TofCube& cube) const override;
+
+ private:
+  std::shared_ptr<const TinyCnn> model_;
+};
+
+/// FCNN as a Beamformer (same RF -> IQ conversion as Tiny-CNN).
+class FcnnBeamformer : public bf::Beamformer {
+ public:
+  explicit FcnnBeamformer(std::shared_ptr<const Fcnn> model);
+
+  std::string name() const override { return "FCNN"; }
+  Tensor beamform(const us::TofCube& cube) const override;
+
+ private:
+  std::shared_ptr<const Fcnn> model_;
+};
+
+/// Normalized copy of the cube's RF data (shared by the adapters and the
+/// training-set builder so train/test preprocessing cannot diverge).
+Tensor normalized_input(const us::TofCube& cube);
+
+/// Converts a beamformed RF image (nz, nx) to IQ (nz, nx, 2) via per-column
+/// analytic signal.
+Tensor rf_image_to_iq(const Tensor& rf);
+
+}  // namespace tvbf::models

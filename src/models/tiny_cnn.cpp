@@ -1,0 +1,74 @@
+#include "models/tiny_cnn.hpp"
+
+namespace tvbf::models {
+
+void TinyCnnConfig::validate() const {
+  TVBF_REQUIRE(in_channels > 0, "in_channels must be positive");
+  TVBF_REQUIRE(kernel > 0 && kernel % 2 == 1, "kernel must be odd positive");
+  TVBF_REQUIRE(hidden1 > 0 && hidden2 > 0, "hidden widths must be positive");
+}
+
+TinyCnnConfig TinyCnnConfig::paper() { return TinyCnnConfig{}; }
+
+TinyCnnConfig TinyCnnConfig::test(std::int64_t channels) {
+  TinyCnnConfig c;
+  c.in_channels = channels;
+  c.kernel = 3;
+  c.hidden1 = 8;
+  c.hidden2 = 8;
+  return c;
+}
+
+TinyCnn::TinyCnn(TinyCnnConfig config, Rng& rng) : config_(config) {
+  config_.validate();
+  c1_ = std::make_unique<nn::Conv2D>(config_.kernel, config_.kernel,
+                                     config_.in_channels, config_.hidden1, rng,
+                                     /*relu_activation=*/true);
+  c2_ = std::make_unique<nn::Conv2D>(config_.kernel, config_.kernel,
+                                     config_.hidden1, config_.hidden2, rng,
+                                     /*relu_activation=*/true);
+  // Final layer emits the apodization weights; linear activation so weights
+  // can be negative (sidelobe cancellation).
+  c3_ = std::make_unique<nn::Conv2D>(config_.kernel, config_.kernel,
+                                     config_.hidden2, config_.in_channels, rng,
+                                     /*relu_activation=*/false);
+}
+
+nn::Variable TinyCnn::forward(const nn::Variable& x) const {
+  const auto& s = x.shape();
+  TVBF_REQUIRE(s.size() == 3 && s[2] == config_.in_channels,
+               "TinyCnn expects (nz, nx, nch=" +
+                   std::to_string(config_.in_channels) + "), got " +
+                   to_string(s));
+  const nn::Variable w = c3_->forward(c2_->forward(c1_->forward(x)));
+  // Beamformed RF: apodization weights applied to the ToF-corrected data and
+  // summed along the channel axis.
+  return nn::sum_last(nn::mul(w, x));
+}
+
+Tensor TinyCnn::infer(const Tensor& input) const {
+  return forward(nn::constant(input)).value();
+}
+
+std::vector<nn::Variable> TinyCnn::parameters() const {
+  std::vector<nn::Variable> out;
+  for (const auto* c : {c1_.get(), c2_.get(), c3_.get()}) {
+    const auto p = c->parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+std::int64_t TinyCnn::ops_per_frame(std::int64_t nz, std::int64_t nx) const {
+  TVBF_REQUIRE(nz > 0 && nx > 0, "ops_per_frame needs positive frame dims");
+  const std::int64_t pix = nz * nx;
+  const std::int64_t k2 = config_.kernel * config_.kernel;
+  std::int64_t ops = 0;
+  ops += 2 * k2 * config_.in_channels * config_.hidden1 * pix;  // conv1
+  ops += 2 * k2 * config_.hidden1 * config_.hidden2 * pix;      // conv2
+  ops += 2 * k2 * config_.hidden2 * config_.in_channels * pix;  // conv3
+  ops += 2 * config_.in_channels * pix;  // weight * data + channel sum
+  return ops;
+}
+
+}  // namespace tvbf::models

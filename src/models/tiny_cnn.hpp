@@ -1,0 +1,54 @@
+// Tiny-CNN baseline beamformer (Mathews & Panicker, EMBC 2021 — ref [7]).
+//
+// A convolutional stack over the ToF-corrected cube (nz, nx, nch) predicts
+// per-channel apodization weights of the same shape; the beamformed RF image
+// is the channel-wise weighted sum sum_ch(w .* x). The Hilbert transform to
+// IQ happens outside the network (it is not differentiable here), exactly as
+// described in Section II of the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/modules.hpp"
+
+namespace tvbf::models {
+
+/// Tiny-CNN hyper-parameters.
+struct TinyCnnConfig {
+  std::int64_t in_channels = 128;  ///< transducer channels
+  std::int64_t kernel = 5;         ///< square conv kernel extent
+  std::int64_t hidden1 = 16;       ///< first conv width
+  std::int64_t hidden2 = 16;       ///< second conv width
+
+  void validate() const;
+
+  static TinyCnnConfig paper();
+  static TinyCnnConfig test(std::int64_t channels = 16);
+};
+
+/// The Tiny-CNN network.
+class TinyCnn : public nn::Module {
+ public:
+  TinyCnn(TinyCnnConfig config, Rng& rng);
+
+  /// (nz, nx, nch) -> beamformed RF (nz, nx). Differentiable.
+  nn::Variable forward(const nn::Variable& x) const;
+
+  /// Inference-only RF image.
+  Tensor infer(const Tensor& input) const;
+
+  std::vector<nn::Variable> parameters() const override;
+  const TinyCnnConfig& config() const { return config_; }
+
+  /// 2-ops-per-MAC count for one (nz, nx) frame.
+  std::int64_t ops_per_frame(std::int64_t nz, std::int64_t nx) const;
+
+ private:
+  TinyCnnConfig config_;
+  std::unique_ptr<nn::Conv2D> c1_, c2_, c3_;
+};
+
+}  // namespace tvbf::models

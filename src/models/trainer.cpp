@@ -1,0 +1,52 @@
+#include "models/trainer.hpp"
+
+#include <cstdio>
+
+#include "nn/ops.hpp"
+
+namespace tvbf::models {
+
+TrainReport train_model(
+    const std::function<nn::Variable(const Tensor&)>& forward,
+    std::vector<nn::Variable> params, const std::vector<TrainingFrame>& frames,
+    TargetKind target, const TrainOptions& options) {
+  TVBF_REQUIRE(!frames.empty(), "training needs at least one frame");
+  TVBF_REQUIRE(options.epochs > 0, "training needs epochs > 0");
+  const std::int64_t steps_per_epoch =
+      static_cast<std::int64_t>(frames.size());
+  const std::int64_t decay_steps =
+      options.decay_steps > 0 ? options.decay_steps
+                              : options.epochs * steps_per_epoch;
+  const nn::PolynomialDecay schedule(options.initial_lr, options.final_lr,
+                                     decay_steps, options.decay_power,
+                                     options.cyclic);
+  nn::Adam adam(std::move(params));
+
+  TrainReport report;
+  report.epoch_loss.reserve(static_cast<std::size_t>(options.epochs));
+  std::int64_t step = 0;
+  for (std::int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (const auto& frame : frames) {
+      adam.zero_grad();
+      const nn::Variable pred = forward(frame.input);
+      const Tensor& label =
+          target == TargetKind::kIq ? frame.target_iq : frame.target_rf;
+      nn::Variable loss = nn::mse_loss(pred, label);
+      loss.backward();
+      adam.step(schedule.at(step));
+      epoch_loss += loss.value().raw()[0];
+      ++step;
+    }
+    epoch_loss /= static_cast<double>(frames.size());
+    report.epoch_loss.push_back(epoch_loss);
+    if (options.verbose && (epoch % 10 == 0 || epoch == options.epochs - 1))
+      std::printf("  epoch %4lld  loss %.6f  lr %.2e\n",
+                  static_cast<long long>(epoch), epoch_loss,
+                  schedule.at(step));
+  }
+  report.final_loss = report.epoch_loss.back();
+  return report;
+}
+
+}  // namespace tvbf::models

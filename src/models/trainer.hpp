@@ -1,0 +1,47 @@
+// Training loop shared by all learned beamformers.
+//
+// Follows the paper's parameter setting section: Adam optimizer, MSE loss on
+// the IQ-demodulated beamformed image prior to log compression, polynomial
+// learning-rate decay from 1e-4 to 1e-6 with cyclic restarts.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "models/dataset.hpp"
+#include "nn/optimizer.hpp"
+
+namespace tvbf::models {
+
+/// Training controls (defaults mirror the paper; epochs scaled per use).
+struct TrainOptions {
+  std::int64_t epochs = 100;
+  double initial_lr = 1e-4;
+  double final_lr = 1e-6;
+  double decay_power = 1.0;
+  bool cyclic = true;
+  /// Steps of the decay horizon; 0 derives it from epochs * frames.
+  std::int64_t decay_steps = 0;
+  /// Print per-epoch loss to stdout.
+  bool verbose = false;
+};
+
+/// Result of a training run.
+struct TrainReport {
+  std::vector<double> epoch_loss;  ///< mean per-frame loss per epoch
+  double final_loss = 0.0;
+};
+
+/// Selects which label tensor a model trains against.
+enum class TargetKind { kIq, kRf };
+
+/// Trains a model given its differentiable forward function and parameters.
+/// `forward` maps an input tensor (nz, nx, nch) to the model output Variable
+/// ((nz, nx, 2) for kIq targets, (nz, nx) for kRf targets).
+TrainReport train_model(
+    const std::function<nn::Variable(const Tensor&)>& forward,
+    std::vector<nn::Variable> params, const std::vector<TrainingFrame>& frames,
+    TargetKind target, const TrainOptions& options);
+
+}  // namespace tvbf::models

@@ -1,0 +1,158 @@
+#include "nn/modules.hpp"
+
+#include <cmath>
+
+namespace tvbf::nn {
+
+std::int64_t Module::num_parameters() const {
+  std::int64_t n = 0;
+  for (const auto& p : parameters()) n += p.value().size();
+  return n;
+}
+
+namespace {
+
+/// Glorot (Xavier) uniform initialization.
+Tensor glorot_uniform(Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                      Rng& rng) {
+  Tensor t(std::move(shape));
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (auto& v : t.data())
+    v = static_cast<float>(rng.uniform(-limit, limit));
+  return t;
+}
+
+}  // namespace
+
+Dense::Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : in_(in_features), out_(out_features) {
+  TVBF_REQUIRE(in_features > 0 && out_features > 0,
+               "Dense needs positive feature counts");
+  w_ = parameter(glorot_uniform({in_, out_}, in_, out_, rng));
+  b_ = parameter(Tensor({out_}));
+}
+
+Variable Dense::forward(const Variable& x) const {
+  TVBF_REQUIRE(x.shape().back() == in_,
+               "Dense expects trailing dim " + std::to_string(in_) + ", got " +
+                   to_string(x.shape()));
+  const Variable y = x.value().rank() == 3 ? batched_matmul(x, w_)
+                                           : matmul(x, w_);
+  return add_bias(y, b_);
+}
+
+std::vector<Variable> Dense::parameters() const { return {w_, b_}; }
+
+LayerNorm::LayerNorm(std::int64_t features) {
+  TVBF_REQUIRE(features > 0, "LayerNorm needs a positive feature count");
+  gamma_ = parameter(Tensor::ones({features}));
+  beta_ = parameter(Tensor({features}));
+}
+
+Variable LayerNorm::forward(const Variable& x) const {
+  return layer_norm(x, gamma_, beta_);
+}
+
+std::vector<Variable> LayerNorm::parameters() const { return {gamma_, beta_}; }
+
+MultiHeadAttention::MultiHeadAttention(std::int64_t d_model,
+                                       std::int64_t num_heads, Rng& rng)
+    : d_model_(d_model), heads_(num_heads) {
+  TVBF_REQUIRE(d_model > 0 && num_heads > 0, "MHA needs positive dimensions");
+  TVBF_REQUIRE(d_model % num_heads == 0,
+               "d_model " + std::to_string(d_model) +
+                   " must be divisible by heads " + std::to_string(num_heads));
+  wq_ = std::make_unique<Dense>(d_model, d_model, rng);
+  wk_ = std::make_unique<Dense>(d_model, d_model, rng);
+  wv_ = std::make_unique<Dense>(d_model, d_model, rng);
+  wo_ = std::make_unique<Dense>(d_model, d_model, rng);
+}
+
+Variable MultiHeadAttention::forward(const Variable& x) const {
+  TVBF_REQUIRE(x.value().rank() == 3,
+               "MHA expects (B, np, d_model), got " + to_string(x.shape()));
+  const std::int64_t dk = head_dim();
+  const Variable q = wq_->forward(x);
+  const Variable k = wk_->forward(x);
+  const Variable v = wv_->forward(x);
+  const float inv_sqrt_dk =
+      1.0f / std::sqrt(static_cast<float>(dk));
+  Variable heads_out;  // built by concatenation across heads
+  for (std::int64_t h = 0; h < heads_; ++h) {
+    const Variable qh = slice_last(q, h * dk, (h + 1) * dk);
+    const Variable kh = slice_last(k, h * dk, (h + 1) * dk);
+    const Variable vh = slice_last(v, h * dk, (h + 1) * dk);
+    // scores (B, np, np) = qh kh^T / sqrt(dk)
+    const Variable scores =
+        scale(batched_matmul(qh, transpose_last2(kh)), inv_sqrt_dk);
+    const Variable attn = softmax_last(scores);
+    const Variable oh = batched_matmul(attn, vh);  // (B, np, dk)
+    heads_out = h == 0 ? oh : concat_last(heads_out, oh);
+  }
+  return wo_->forward(heads_out);
+}
+
+std::vector<Variable> MultiHeadAttention::parameters() const {
+  std::vector<Variable> out;
+  for (const auto* d : {wq_.get(), wk_.get(), wv_.get(), wo_.get()}) {
+    const auto p = d->parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+TransformerBlock::TransformerBlock(std::int64_t d_model, std::int64_t num_heads,
+                                   std::int64_t mlp_hidden, Rng& rng) {
+  TVBF_REQUIRE(mlp_hidden > 0, "transformer MLP hidden size must be positive");
+  ln1_ = std::make_unique<LayerNorm>(d_model);
+  ln2_ = std::make_unique<LayerNorm>(d_model);
+  mha_ = std::make_unique<MultiHeadAttention>(d_model, num_heads, rng);
+  fc1_ = std::make_unique<Dense>(d_model, mlp_hidden, rng);
+  fc2_ = std::make_unique<Dense>(mlp_hidden, d_model, rng);
+}
+
+Variable TransformerBlock::forward(const Variable& x) const {
+  // Skip connection 1: attention sublayer.
+  const Variable a = add(x, mha_->forward(ln1_->forward(x)));
+  // Skip connection 2: position-wise MLP sublayer.
+  const Variable m =
+      fc2_->forward(relu(fc1_->forward(ln2_->forward(a))));
+  return add(a, m);
+}
+
+std::vector<Variable> TransformerBlock::parameters() const {
+  std::vector<Variable> out;
+  for (const Module* m :
+       {static_cast<const Module*>(ln1_.get()),
+        static_cast<const Module*>(mha_.get()),
+        static_cast<const Module*>(ln2_.get()),
+        static_cast<const Module*>(fc1_.get()),
+        static_cast<const Module*>(fc2_.get())}) {
+    const auto p = m->parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+Conv2D::Conv2D(std::int64_t kernel_h, std::int64_t kernel_w, std::int64_t in_ch,
+               std::int64_t out_ch, Rng& rng, bool relu_activation)
+    : relu_(relu_activation) {
+  TVBF_REQUIRE(kernel_h > 0 && kernel_w > 0 && in_ch > 0 && out_ch > 0,
+               "Conv2D needs positive dimensions");
+  TVBF_REQUIRE(kernel_h % 2 == 1 && kernel_w % 2 == 1,
+               "Conv2D uses SAME padding and requires odd kernels");
+  const std::int64_t fan_in = kernel_h * kernel_w * in_ch;
+  const std::int64_t fan_out = kernel_h * kernel_w * out_ch;
+  k_ = parameter(
+      glorot_uniform({kernel_h, kernel_w, in_ch, out_ch}, fan_in, fan_out, rng));
+  b_ = parameter(Tensor({out_ch}));
+}
+
+Variable Conv2D::forward(const Variable& x) const {
+  const Variable y = conv2d_same(x, k_, b_);
+  return relu_ ? relu(y) : y;
+}
+
+std::vector<Variable> Conv2D::parameters() const { return {k_, b_}; }
+
+}  // namespace tvbf::nn

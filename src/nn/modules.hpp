@@ -1,0 +1,135 @@
+// Layer modules composing the differentiable ops into the building blocks
+// the paper's architecture uses: dense layers, layer normalization,
+// multi-head attention, the transformer encoder block, and 2-D convolutions
+// (for the Tiny-CNN baseline).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/ops.hpp"
+
+namespace tvbf::nn {
+
+/// Base class exposing the trainable parameters of a layer.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Trainable parameters, in a stable order (serialization relies on it).
+  virtual std::vector<Variable> parameters() const = 0;
+
+  /// Total trainable scalar count.
+  std::int64_t num_parameters() const;
+};
+
+/// Fully connected layer acting on the trailing axis: y = x W + b.
+class Dense : public Module {
+ public:
+  /// Glorot-uniform initialized weights; zero bias.
+  Dense(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+  /// Input rank 2 (rows, in) or rank 3 (B, rows, in).
+  Variable forward(const Variable& x) const;
+
+  std::vector<Variable> parameters() const override;
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+  const Variable& weight() const { return w_; }
+  const Variable& bias() const { return b_; }
+
+ private:
+  std::int64_t in_ = 0;
+  std::int64_t out_ = 0;
+  Variable w_;  // (in, out)
+  Variable b_;  // (out)
+};
+
+/// Layer normalization over the trailing axis with learned gamma/beta.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::int64_t features);
+
+  Variable forward(const Variable& x) const;
+  std::vector<Variable> parameters() const override;
+
+  const Variable& gamma() const { return gamma_; }
+  const Variable& beta() const { return beta_; }
+
+ private:
+  Variable gamma_;
+  Variable beta_;
+};
+
+/// Multi-head self-attention (the paper's MHAL).
+///
+/// Input (B, np, d_model); each head h computes softmax(Q K^T / sqrt(dk)) V
+/// on its d_model/heads slice; head outputs are concatenated and passed
+/// through the output projection.
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(std::int64_t d_model, std::int64_t num_heads, Rng& rng);
+
+  Variable forward(const Variable& x) const;
+  std::vector<Variable> parameters() const override;
+
+  std::int64_t d_model() const { return d_model_; }
+  std::int64_t num_heads() const { return heads_; }
+  std::int64_t head_dim() const { return d_model_ / heads_; }
+  const Dense& wq() const { return *wq_; }
+  const Dense& wk() const { return *wk_; }
+  const Dense& wv() const { return *wv_; }
+  const Dense& wo() const { return *wo_; }
+
+ private:
+  std::int64_t d_model_ = 0;
+  std::int64_t heads_ = 0;
+  std::unique_ptr<Dense> wq_, wk_, wv_, wo_;
+};
+
+/// Pre-norm transformer encoder block:
+/// x + MHA(LN(x)); then x + Dense(ReLU(Dense(LN(x)))).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(std::int64_t d_model, std::int64_t num_heads,
+                   std::int64_t mlp_hidden, Rng& rng);
+
+  Variable forward(const Variable& x) const;
+  std::vector<Variable> parameters() const override;
+
+  const MultiHeadAttention& attention() const { return *mha_; }
+  const Dense& mlp_in() const { return *fc1_; }
+  const Dense& mlp_out() const { return *fc2_; }
+  const LayerNorm& norm1() const { return *ln1_; }
+  const LayerNorm& norm2() const { return *ln2_; }
+
+ private:
+  std::unique_ptr<LayerNorm> ln1_, ln2_;
+  std::unique_ptr<MultiHeadAttention> mha_;
+  std::unique_ptr<Dense> fc1_, fc2_;
+};
+
+/// SAME-padded stride-1 conv layer with optional ReLU.
+class Conv2D : public Module {
+ public:
+  Conv2D(std::int64_t kernel_h, std::int64_t kernel_w, std::int64_t in_ch,
+         std::int64_t out_ch, Rng& rng, bool relu_activation = true);
+
+  /// Input (H, W, Cin) -> (H, W, Cout).
+  Variable forward(const Variable& x) const;
+  std::vector<Variable> parameters() const override;
+
+  const Variable& kernel() const { return k_; }
+  const Variable& bias() const { return b_; }
+  bool has_relu() const { return relu_; }
+
+ private:
+  Variable k_;  // (kh, kw, Cin, Cout)
+  Variable b_;  // (Cout)
+  bool relu_ = true;
+};
+
+}  // namespace tvbf::nn

@@ -1,0 +1,88 @@
+// Differentiable op library over Variable.
+//
+// Every op returns a new Variable whose backward closure accumulates
+// gradients into its inputs. Shapes follow the conventions of src/tensor;
+// "last dim" ops (softmax, layer_norm, bias) operate on the trailing axis
+// of an arbitrary-rank tensor, which is how the per-pixel / per-patch
+// feature dimension is laid out throughout the models.
+#pragma once
+
+#include "nn/variable.hpp"
+
+namespace tvbf::nn {
+
+// ---- leaf constructors -----------------------------------------------------
+
+/// Non-trainable input.
+Variable constant(Tensor value);
+
+/// Trainable parameter.
+Variable parameter(Tensor value);
+
+// ---- elementwise -----------------------------------------------------------
+
+Variable add(const Variable& a, const Variable& b);
+Variable sub(const Variable& a, const Variable& b);
+Variable mul(const Variable& a, const Variable& b);
+Variable scale(const Variable& a, float s);
+Variable relu(const Variable& a);
+Variable tanh_v(const Variable& a);
+
+/// Adds a rank-1 bias along the trailing axis.
+Variable add_bias(const Variable& a, const Variable& bias);
+
+// ---- matmul ----------------------------------------------------------------
+
+/// (m,k) x (k,n) -> (m,n).
+Variable matmul(const Variable& a, const Variable& b);
+
+/// (B,m,k) x (k,n) -> (B,m,n)  [rank-2 rhs broadcast over the batch], or
+/// (B,m,k) x (B,k,n) -> (B,m,n).
+Variable batched_matmul(const Variable& a, const Variable& b);
+
+// ---- shape -----------------------------------------------------------------
+
+Variable reshape(const Variable& a, Shape new_shape);
+
+/// Swaps the last two axes of a rank-3 tensor.
+Variable transpose_last2(const Variable& a);
+
+/// Slices [begin, end) of the trailing axis.
+Variable slice_last(const Variable& a, std::int64_t begin, std::int64_t end);
+
+/// Concatenates two tensors along the trailing axis.
+Variable concat_last(const Variable& a, const Variable& b);
+
+// ---- normalization / attention helpers --------------------------------------
+
+/// Softmax over the trailing axis.
+Variable softmax_last(const Variable& a);
+
+/// Layer normalization over the trailing axis with learned gamma/beta
+/// (rank-1, length == trailing dim). epsilon stabilizes the variance.
+Variable layer_norm(const Variable& a, const Variable& gamma,
+                    const Variable& beta, float epsilon = 1e-5f);
+
+// ---- convolution -------------------------------------------------------------
+
+/// 2-D convolution with SAME zero padding, stride 1.
+/// input (H, W, Cin), kernel (kh, kw, Cin, Cout), bias (Cout) -> (H, W, Cout).
+Variable conv2d_same(const Variable& input, const Variable& kernel,
+                     const Variable& bias);
+
+// ---- reductions / losses -----------------------------------------------------
+
+/// Sums over the trailing axis: (..., w) -> (...). Rank must be >= 2.
+/// Used by the apodization-weight baselines (sum of w .* x over channels).
+Variable sum_last(const Variable& a);
+
+/// Mean of all elements (scalar output).
+Variable mean_all(const Variable& a);
+
+/// Sum of all elements (scalar output).
+Variable sum_all(const Variable& a);
+
+/// Mean squared error between prediction and a constant target (scalar).
+Variable mse_loss(const Variable& pred, const Tensor& target);
+
+}  // namespace tvbf::nn

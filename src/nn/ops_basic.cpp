@@ -1,0 +1,205 @@
+#include <cmath>
+
+#include "nn/ops.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace tvbf::nn {
+
+using detail::Node;
+
+Variable constant(Tensor value) {
+  return Variable(std::move(value), /*requires_grad=*/false);
+}
+
+Variable parameter(Tensor value) {
+  return Variable(std::move(value), /*requires_grad=*/true);
+}
+
+Variable add(const Variable& a, const Variable& b) {
+  Tensor out = tvbf::add(a.value(), b.value());
+  return Variable::make_op(
+      std::move(out), {a, b},
+      [](Node& n) {
+        for (auto& p : n.parents)
+          if (p->requires_grad) add_inplace(p->ensure_grad(), n.grad);
+      },
+      "add");
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  Tensor out = tvbf::sub(a.value(), b.value());
+  return Variable::make_op(
+      std::move(out), {a, b},
+      [](Node& n) {
+        if (n.parents[0]->requires_grad)
+          add_inplace(n.parents[0]->ensure_grad(), n.grad);
+        if (n.parents[1]->requires_grad)
+          axpy_inplace(n.parents[1]->ensure_grad(), -1.0f, n.grad);
+      },
+      "sub");
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  Tensor out = tvbf::mul(a.value(), b.value());
+  return Variable::make_op(
+      std::move(out), {a, b},
+      [](Node& n) {
+        if (n.parents[0]->requires_grad)
+          add_inplace(n.parents[0]->ensure_grad(),
+                      tvbf::mul(n.grad, n.parents[1]->value));
+        if (n.parents[1]->requires_grad)
+          add_inplace(n.parents[1]->ensure_grad(),
+                      tvbf::mul(n.grad, n.parents[0]->value));
+      },
+      "mul");
+}
+
+Variable scale(const Variable& a, float s) {
+  Tensor out = tvbf::scale(a.value(), s);
+  return Variable::make_op(
+      std::move(out), {a},
+      [s](Node& n) {
+        if (n.parents[0]->requires_grad)
+          axpy_inplace(n.parents[0]->ensure_grad(), s, n.grad);
+      },
+      "scale");
+}
+
+Variable relu(const Variable& a) {
+  Tensor out = tvbf::relu(a.value());
+  return Variable::make_op(
+      std::move(out), {a},
+      [](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        Tensor& g = n.parents[0]->ensure_grad();
+        const float* x = n.parents[0]->value.raw();
+        const float* dy = n.grad.raw();
+        float* gx = g.raw();
+        for (std::int64_t i = 0; i < g.size(); ++i)
+          if (x[i] > 0.0f) gx[i] += dy[i];
+      },
+      "relu");
+}
+
+Variable tanh_v(const Variable& a) {
+  Tensor out = tvbf::tanh_t(a.value());
+  return Variable::make_op(
+      std::move(out), {a},
+      [](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        Tensor& g = n.parents[0]->ensure_grad();
+        const float* y = n.value.raw();
+        const float* dy = n.grad.raw();
+        float* gx = g.raw();
+        for (std::int64_t i = 0; i < g.size(); ++i)
+          gx[i] += dy[i] * (1.0f - y[i] * y[i]);
+      },
+      "tanh");
+}
+
+Variable add_bias(const Variable& a, const Variable& bias) {
+  Tensor out = tvbf::add_bias(a.value(), bias.value());
+  return Variable::make_op(
+      std::move(out), {a, bias},
+      [](Node& n) {
+        if (n.parents[0]->requires_grad)
+          add_inplace(n.parents[0]->ensure_grad(), n.grad);
+        if (n.parents[1]->requires_grad) {
+          Tensor& gb = n.parents[1]->ensure_grad();
+          const std::int64_t nf = gb.size();
+          const std::int64_t rows = n.grad.size() / nf;
+          const float* dy = n.grad.raw();
+          float* g = gb.raw();
+          for (std::int64_t r = 0; r < rows; ++r)
+            for (std::int64_t j = 0; j < nf; ++j) g[j] += dy[r * nf + j];
+        }
+      },
+      "add_bias");
+}
+
+Variable sum_last(const Variable& a) {
+  const Tensor& x = a.value();
+  TVBF_REQUIRE(x.rank() >= 2, "sum_last needs rank >= 2");
+  const std::int64_t w = x.shape().back();
+  Shape s(x.shape().begin(), x.shape().end() - 1);
+  Tensor out(s);
+  const std::int64_t rows = out.size();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    const float* xr = x.raw() + r * w;
+    for (std::int64_t j = 0; j < w; ++j) acc += xr[j];
+    out.raw()[r] = static_cast<float>(acc);
+  }
+  return Variable::make_op(
+      std::move(out), {a},
+      [w](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        Tensor& gx = n.parents[0]->ensure_grad();
+        const float* dy = n.grad.raw();
+        const std::int64_t rows = n.grad.size();
+        for (std::int64_t r = 0; r < rows; ++r) {
+          float* gr = gx.raw() + r * w;
+          const float g = dy[r];
+          for (std::int64_t j = 0; j < w; ++j) gr[j] += g;
+        }
+      },
+      "sum_last");
+}
+
+Variable mean_all(const Variable& a) {
+  const float m = tvbf::mean(a.value());
+  const auto count = static_cast<float>(a.value().size());
+  return Variable::make_op(
+      Tensor({}, std::vector<float>{m}), {a},
+      [count](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        const float g = n.grad.raw()[0] / count;
+        Tensor& gx = n.parents[0]->ensure_grad();
+        for (std::int64_t i = 0; i < gx.size(); ++i) gx.raw()[i] += g;
+      },
+      "mean_all");
+}
+
+Variable sum_all(const Variable& a) {
+  const float s = tvbf::sum(a.value());
+  return Variable::make_op(
+      Tensor({}, std::vector<float>{s}), {a},
+      [](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        const float g = n.grad.raw()[0];
+        Tensor& gx = n.parents[0]->ensure_grad();
+        for (std::int64_t i = 0; i < gx.size(); ++i) gx.raw()[i] += g;
+      },
+      "sum_all");
+}
+
+Variable mse_loss(const Variable& pred, const Tensor& target) {
+  TVBF_REQUIRE(same_shape(pred.shape(), target.shape()),
+               "mse_loss: prediction shape " + to_string(pred.shape()) +
+                   " does not match target " + to_string(target.shape()));
+  const std::int64_t count = target.size();
+  TVBF_REQUIRE(count > 0, "mse_loss of empty tensors");
+  double acc = 0.0;
+  const float* p = pred.value().raw();
+  const float* t = target.raw();
+  for (std::int64_t i = 0; i < count; ++i) {
+    const double d = static_cast<double>(p[i]) - t[i];
+    acc += d * d;
+  }
+  const float loss = static_cast<float>(acc / static_cast<double>(count));
+  Tensor target_copy = target;  // keep alive in the closure
+  return Variable::make_op(
+      Tensor({}, std::vector<float>{loss}), {pred},
+      [target = std::move(target_copy), count](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        const float g = 2.0f * n.grad.raw()[0] / static_cast<float>(count);
+        Tensor& gx = n.parents[0]->ensure_grad();
+        const float* p = n.parents[0]->value.raw();
+        const float* t = target.raw();
+        for (std::int64_t i = 0; i < count; ++i)
+          gx.raw()[i] += g * (p[i] - t[i]);
+      },
+      "mse_loss");
+}
+
+}  // namespace tvbf::nn

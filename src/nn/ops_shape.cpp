@@ -1,0 +1,111 @@
+#include "nn/ops.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace tvbf::nn {
+
+using detail::Node;
+
+Variable reshape(const Variable& a, Shape new_shape) {
+  Tensor out = a.value().reshaped(std::move(new_shape));
+  return Variable::make_op(
+      std::move(out), {a},
+      [](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        add_inplace(n.parents[0]->ensure_grad(),
+                    n.grad.reshaped(n.parents[0]->value.shape()));
+      },
+      "reshape");
+}
+
+Variable transpose_last2(const Variable& a) {
+  Tensor out = tvbf::transpose_last2(a.value());
+  return Variable::make_op(
+      std::move(out), {a},
+      [](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        add_inplace(n.parents[0]->ensure_grad(), tvbf::transpose_last2(n.grad));
+      },
+      "transpose_last2");
+}
+
+namespace {
+
+/// Copies the [begin, end) band of the trailing axis of `src` (width w_src)
+/// into `dst` (width w_dst) at offset dst_off, accumulating when `acc`.
+void copy_last_band(const float* src, std::int64_t w_src, std::int64_t s_off,
+                    float* dst, std::int64_t w_dst, std::int64_t d_off,
+                    std::int64_t band, std::int64_t rows, bool acc) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* sp = src + r * w_src + s_off;
+    float* dp = dst + r * w_dst + d_off;
+    if (acc)
+      for (std::int64_t j = 0; j < band; ++j) dp[j] += sp[j];
+    else
+      for (std::int64_t j = 0; j < band; ++j) dp[j] = sp[j];
+  }
+}
+
+}  // namespace
+
+Variable slice_last(const Variable& a, std::int64_t begin, std::int64_t end) {
+  const Tensor& x = a.value();
+  TVBF_REQUIRE(x.rank() >= 1, "slice_last needs rank >= 1");
+  const std::int64_t w = x.shape().back();
+  TVBF_REQUIRE(begin >= 0 && begin < end && end <= w,
+               "slice_last range [" + std::to_string(begin) + ", " +
+                   std::to_string(end) + ") invalid for width " +
+                   std::to_string(w));
+  Shape s = x.shape();
+  s.back() = end - begin;
+  Tensor out(s);
+  const std::int64_t rows = x.size() / w;
+  copy_last_band(x.raw(), w, begin, out.raw(), end - begin, 0, end - begin,
+                 rows, /*acc=*/false);
+  return Variable::make_op(
+      std::move(out), {a},
+      [begin, end](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        Tensor& g = n.parents[0]->ensure_grad();
+        const std::int64_t w = g.shape().back();
+        const std::int64_t band = end - begin;
+        const std::int64_t rows = g.size() / w;
+        copy_last_band(n.grad.raw(), band, 0, g.raw(), w, begin, band, rows,
+                       /*acc=*/true);
+      },
+      "slice_last");
+}
+
+Variable concat_last(const Variable& a, const Variable& b) {
+  const Tensor& x = a.value();
+  const Tensor& y = b.value();
+  TVBF_REQUIRE(x.rank() == y.rank() && x.rank() >= 1,
+               "concat_last needs equal ranks >= 1");
+  for (std::int64_t ax = 0; ax + 1 < x.rank(); ++ax)
+    TVBF_REQUIRE(x.dim(ax) == y.dim(ax),
+                 "concat_last leading shape mismatch: " + to_string(x.shape()) +
+                     " vs " + to_string(y.shape()));
+  const std::int64_t wa = x.shape().back();
+  const std::int64_t wb = y.shape().back();
+  Shape s = x.shape();
+  s.back() = wa + wb;
+  Tensor out(s);
+  const std::int64_t rows = x.size() / wa;
+  copy_last_band(x.raw(), wa, 0, out.raw(), wa + wb, 0, wa, rows, false);
+  copy_last_band(y.raw(), wb, 0, out.raw(), wa + wb, wa, wb, rows, false);
+  return Variable::make_op(
+      std::move(out), {a, b},
+      [wa, wb](Node& n) {
+        const std::int64_t rows = n.grad.size() / (wa + wb);
+        if (n.parents[0]->requires_grad)
+          copy_last_band(n.grad.raw(), wa + wb, 0,
+                         n.parents[0]->ensure_grad().raw(), wa, 0, wa, rows,
+                         /*acc=*/true);
+        if (n.parents[1]->requires_grad)
+          copy_last_band(n.grad.raw(), wa + wb, wa,
+                         n.parents[1]->ensure_grad().raw(), wb, 0, wb, rows,
+                         /*acc=*/true);
+      },
+      "concat_last");
+}
+
+}  // namespace tvbf::nn

@@ -1,0 +1,100 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tvbf::nn {
+
+PolynomialDecay::PolynomialDecay(double initial_lr, double final_lr,
+                                 std::int64_t decay_steps, double power,
+                                 bool cyclic)
+    : initial_lr_(initial_lr),
+      final_lr_(final_lr),
+      decay_steps_(decay_steps),
+      power_(power),
+      cyclic_(cyclic) {
+  TVBF_REQUIRE(initial_lr > 0.0 && final_lr > 0.0,
+               "learning rates must be positive");
+  TVBF_REQUIRE(initial_lr >= final_lr,
+               "polynomial decay expects initial_lr >= final_lr");
+  TVBF_REQUIRE(decay_steps > 0, "decay_steps must be positive");
+  TVBF_REQUIRE(power > 0.0, "decay power must be positive");
+}
+
+double PolynomialDecay::at(std::int64_t step) const {
+  TVBF_REQUIRE(step >= 0, "schedule step must be non-negative");
+  double horizon = static_cast<double>(decay_steps_);
+  if (cyclic_) {
+    // TF `cycle=True`: horizon = decay_steps * ceil(step / decay_steps).
+    const double mult = std::ceil(static_cast<double>(step) / horizon);
+    horizon *= std::max(1.0, mult);
+  }
+  const double s = std::min(static_cast<double>(step), horizon);
+  const double frac = 1.0 - s / horizon;
+  return (initial_lr_ - final_lr_) * std::pow(frac, power_) + final_lr_;
+}
+
+Optimizer::Optimizer(std::vector<Variable> params)
+    : params_(std::move(params)) {
+  TVBF_REQUIRE(!params_.empty(), "optimizer needs at least one parameter");
+  for (const auto& p : params_)
+    TVBF_REQUIRE(p.requires_grad(), "optimizer parameter lacks requires_grad");
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+void Sgd::step(double lr) {
+  TVBF_REQUIRE(lr > 0.0, "learning rate must be positive");
+  for (auto& p : params_) {
+    const Tensor& g = p.grad();
+    float* w = p.mutable_value().raw();
+    const float* gp = g.raw();
+    for (std::int64_t i = 0; i < g.size(); ++i)
+      w[i] -= static_cast<float>(lr) * gp[i];
+  }
+  ++t_;
+}
+
+Adam::Adam(std::vector<Variable> params, double beta1, double beta2,
+           double epsilon)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  TVBF_REQUIRE(beta1 > 0.0 && beta1 < 1.0, "beta1 must be in (0, 1)");
+  TVBF_REQUIRE(beta2 > 0.0 && beta2 < 1.0, "beta2 must be in (0, 1)");
+  TVBF_REQUIRE(epsilon > 0.0, "epsilon must be positive");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value().shape());
+    v_.emplace_back(p.value().shape());
+  }
+}
+
+void Adam::step(double lr) {
+  TVBF_REQUIRE(lr > 0.0, "learning rate must be positive");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    const Tensor& g = params_[pi].grad();
+    float* w = params_[pi].mutable_value().raw();
+    float* m = m_[pi].raw();
+    float* v = v_[pi].raw();
+    const float* gp = g.raw();
+    for (std::int64_t i = 0; i < g.size(); ++i) {
+      const double gi = gp[i];
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * gi);
+      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * gi * gi);
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      w[i] -= static_cast<float>(lr * mhat / (std::sqrt(vhat) + epsilon_));
+    }
+  }
+}
+
+}  // namespace tvbf::nn

@@ -1,0 +1,73 @@
+// Optimizers and learning-rate schedules.
+//
+// The paper trains with Adam under a cyclic polynomial-decay schedule from
+// 1e-4 to 1e-6; both pieces are implemented here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/variable.hpp"
+
+namespace tvbf::nn {
+
+/// Polynomial decay from initial_lr to final_lr over decay_steps, with
+/// optional cyclic restarts (the decay horizon doubles each cycle, the
+/// TensorFlow `cycle=True` behaviour).
+class PolynomialDecay {
+ public:
+  PolynomialDecay(double initial_lr, double final_lr, std::int64_t decay_steps,
+                  double power = 1.0, bool cyclic = true);
+
+  /// Learning rate at a global step (>= 0).
+  double at(std::int64_t step) const;
+
+ private:
+  double initial_lr_;
+  double final_lr_;
+  std::int64_t decay_steps_;
+  double power_;
+  bool cyclic_;
+};
+
+/// Optimizer interface over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the gradients currently stored on the
+  /// parameters, then advances the step counter.
+  virtual void step(double lr) = 0;
+
+  /// Clears all parameter gradients.
+  void zero_grad();
+
+  std::int64_t step_count() const { return t_; }
+
+ protected:
+  std::vector<Variable> params_;
+  std::int64_t t_ = 0;
+};
+
+/// Plain SGD (used by tests as a sanity reference).
+class Sgd : public Optimizer {
+ public:
+  using Optimizer::Optimizer;
+  void step(double lr) override;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(std::vector<Variable> params, double beta1 = 0.9,
+                double beta2 = 0.999, double epsilon = 1e-8);
+  void step(double lr) override;
+
+ private:
+  double beta1_, beta2_, epsilon_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace tvbf::nn

@@ -1,0 +1,71 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace tvbf::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54564246;  // "TVBF"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  TVBF_REQUIRE(static_cast<bool>(is), "unexpected end of weight file");
+  return v;
+}
+
+}  // namespace
+
+void save_parameters(const std::vector<Variable>& params,
+                     const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  TVBF_REQUIRE(os.is_open(), "cannot open '" + path + "' for writing");
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(params.size()));
+  for (const auto& p : params) {
+    const Tensor& t = p.value();
+    write_pod(os, static_cast<std::uint32_t>(t.rank()));
+    for (auto d : t.shape()) write_pod(os, static_cast<std::int64_t>(d));
+    os.write(reinterpret_cast<const char*>(t.raw()),
+             static_cast<std::streamsize>(t.size() * sizeof(float)));
+  }
+  TVBF_REQUIRE(static_cast<bool>(os), "write to '" + path + "' failed");
+}
+
+void load_parameters(std::vector<Variable>& params, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  TVBF_REQUIRE(is.is_open(), "cannot open '" + path + "' for reading");
+  TVBF_REQUIRE(read_pod<std::uint32_t>(is) == kMagic,
+               "'" + path + "' is not a Tiny-VBF weight file");
+  TVBF_REQUIRE(read_pod<std::uint32_t>(is) == kVersion,
+               "unsupported weight file version in '" + path + "'");
+  const auto count = read_pod<std::uint64_t>(is);
+  TVBF_REQUIRE(count == params.size(),
+               "weight file holds " + std::to_string(count) +
+                   " tensors, model expects " + std::to_string(params.size()));
+  for (auto& p : params) {
+    const auto rank = read_pod<std::uint32_t>(is);
+    Shape shape(rank);
+    for (auto& d : shape) d = read_pod<std::int64_t>(is);
+    TVBF_REQUIRE(same_shape(shape, p.value().shape()),
+                 "weight tensor shape " + to_string(shape) +
+                     " does not match parameter " + to_string(p.value().shape()));
+    Tensor& t = p.mutable_value();
+    is.read(reinterpret_cast<char*>(t.raw()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+    TVBF_REQUIRE(static_cast<bool>(is), "unexpected end of weight file");
+  }
+}
+
+}  // namespace tvbf::nn

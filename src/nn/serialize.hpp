@@ -1,0 +1,23 @@
+// Weight (de)serialization.
+//
+// A simple versioned little-endian binary container: magic, tensor count,
+// then per tensor rank, dims and float data. Used to checkpoint trained
+// beamformers so the quantization/accelerator benches can reuse them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/variable.hpp"
+
+namespace tvbf::nn {
+
+/// Writes the parameter values to `path`. Throws on I/O failure.
+void save_parameters(const std::vector<Variable>& params,
+                     const std::string& path);
+
+/// Loads values into the parameters (shapes must match exactly).
+/// Throws InvalidArgument on count/shape mismatch or corrupt files.
+void load_parameters(std::vector<Variable>& params, const std::string& path);
+
+}  // namespace tvbf::nn

@@ -1,0 +1,99 @@
+#include "nn/variable.hpp"
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace tvbf::nn {
+
+namespace detail {
+
+Tensor& Node::ensure_grad() {
+  if (!same_shape(grad.shape(), value.shape())) grad = Tensor(value.shape());
+  return grad;
+}
+
+}  // namespace detail
+
+Variable::Variable(Tensor value, bool requires_grad)
+    : node_(std::make_shared<detail::Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  TVBF_REQUIRE(node_ != nullptr, "use of an undefined Variable");
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  TVBF_REQUIRE(node_ != nullptr, "use of an undefined Variable");
+  return node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  TVBF_REQUIRE(node_ != nullptr, "use of an undefined Variable");
+  return node_->ensure_grad();
+}
+
+bool Variable::requires_grad() const {
+  return node_ != nullptr && node_->requires_grad;
+}
+
+void Variable::zero_grad() {
+  TVBF_REQUIRE(node_ != nullptr, "use of an undefined Variable");
+  if (same_shape(node_->grad.shape(), node_->value.shape()))
+    node_->grad.fill(0.0f);
+}
+
+Variable Variable::make_op(Tensor value, std::vector<Variable> parents,
+                           std::function<void(detail::Node&)> backward_fn,
+                           const char* op_name) {
+  Variable out(std::move(value));
+  bool any_grad = false;
+  out.node_->parents.reserve(parents.size());
+  for (const auto& p : parents) {
+    TVBF_REQUIRE(p.defined(), "op input is an undefined Variable");
+    any_grad = any_grad || p.node_->requires_grad;
+    out.node_->parents.push_back(p.node_);
+  }
+  out.node_->requires_grad = any_grad;
+  if (any_grad) out.node_->backward_fn = std::move(backward_fn);
+  out.node_->op = op_name;
+  return out;
+}
+
+void Variable::backward() {
+  TVBF_REQUIRE(node_ != nullptr, "backward() on an undefined Variable");
+  TVBF_REQUIRE(node_->value.size() == 1,
+               "backward() requires a scalar loss, got shape " +
+                   to_string(node_->value.shape()));
+  // Topological order via iterative DFS.
+  std::vector<detail::Node*> order;
+  std::unordered_set<detail::Node*> visited;
+  std::vector<std::pair<detail::Node*, std::size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [n, next_child] = stack.back();
+    if (next_child < n->parents.size()) {
+      detail::Node* child = n->parents[next_child++].get();
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+  // Seed and propagate in reverse topological order.
+  for (auto* n : order) n->ensure_grad().fill(0.0f);
+  node_->ensure_grad().fill(1.0f);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    detail::Node* n = *it;
+    if (n->backward_fn) n->backward_fn(*n);
+  }
+}
+
+}  // namespace tvbf::nn

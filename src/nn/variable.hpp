@@ -1,0 +1,78 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// A Variable is a shared handle to a graph node holding a value tensor, an
+// optional gradient, and a backward closure that scatters the node's
+// gradient into its parents. backward() runs the closures in reverse
+// topological order. The graph is rebuilt every forward pass (define-by-run,
+// like the TensorFlow eager / PyTorch model the paper trained with).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace tvbf::nn {
+
+class Variable;
+
+namespace detail {
+
+struct Node {
+  Tensor value;
+  Tensor grad;  // allocated lazily, same shape as value
+  bool requires_grad = false;
+  bool grad_ready = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Accumulates this node's grad into the parents' grads.
+  std::function<void(Node&)> backward_fn;
+  const char* op = "leaf";
+
+  /// Gradient tensor, allocating zeros on first touch.
+  Tensor& ensure_grad();
+};
+
+using NodePtr = std::shared_ptr<Node>;
+
+}  // namespace detail
+
+/// Differentiable tensor handle (cheap to copy; shares the node).
+class Variable {
+ public:
+  Variable() = default;
+
+  /// Leaf from a value; set requires_grad for trainable parameters.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  const Tensor& value() const;
+  Tensor& mutable_value();
+
+  /// Gradient of the last backward() (zeros if untouched).
+  /// Only meaningful on requires_grad leaves after backward().
+  const Tensor& grad() const;
+
+  bool requires_grad() const;
+  const Shape& shape() const { return value().shape(); }
+  bool defined() const { return node_ != nullptr; }
+
+  /// Zeroes the stored gradient (optimizers call this between steps).
+  void zero_grad();
+
+  /// Runs reverse-mode differentiation from this (scalar) variable.
+  /// Throws InvalidArgument if the value is not a single element.
+  void backward();
+
+  /// Internal: builds an op node. Exposed for the op library.
+  static Variable make_op(Tensor value, std::vector<Variable> parents,
+                          std::function<void(detail::Node&)> backward_fn,
+                          const char* op_name);
+
+  detail::NodePtr node() const { return node_; }
+
+ private:
+  detail::NodePtr node_;
+};
+
+}  // namespace tvbf::nn

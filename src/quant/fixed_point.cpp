@@ -1,0 +1,148 @@
+#include "quant/fixed_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace tvbf::quant {
+
+void FixedFormat::validate() const {
+  TVBF_REQUIRE(bits >= 2 && bits <= 63, "fixed-point width must be in [2, 63]");
+  TVBF_REQUIRE(frac_bits >= 0 && frac_bits < bits,
+               "fractional bits must be in [0, bits)");
+}
+
+double FixedFormat::step() const { return std::ldexp(1.0, -frac_bits); }
+
+double FixedFormat::max_value() const {
+  return (std::ldexp(1.0, bits - 1) - 1.0) * step();
+}
+
+double FixedFormat::min_value() const {
+  return -std::ldexp(1.0, bits - 1) * step();
+}
+
+float quantize_value(float v, const FixedFormat& fmt) {
+  if (!std::isfinite(v)) return v > 0 ? static_cast<float>(fmt.max_value())
+                                      : static_cast<float>(fmt.min_value());
+  const double scaled = std::nearbyint(static_cast<double>(v) / fmt.step());
+  const double lo = -std::ldexp(1.0, fmt.bits - 1);
+  const double hi = std::ldexp(1.0, fmt.bits - 1) - 1.0;
+  const double clamped = std::clamp(scaled, lo, hi);
+  return static_cast<float>(clamped * fmt.step());
+}
+
+void quantize_tensor_inplace(Tensor& t, const FixedFormat& fmt) {
+  fmt.validate();
+  for (auto& v : t.data()) v = quantize_value(v, fmt);
+}
+
+Tensor quantized(const Tensor& t, const FixedFormat& fmt) {
+  Tensor out = t;
+  quantize_tensor_inplace(out, fmt);
+  return out;
+}
+
+FixedFormat activation_format(int bits, int integer_bits) {
+  TVBF_REQUIRE(integer_bits >= 0 && integer_bits < bits - 1,
+               "integer bits must leave room for sign and fraction");
+  FixedFormat f;
+  f.bits = bits;
+  f.frac_bits = bits - 1 - integer_bits;
+  f.validate();
+  return f;
+}
+
+FixedFormat weight_format_for(const Tensor& w, int bits) {
+  const float m = max_abs(w);
+  // Integer bits needed to represent max |w| (at least 0).
+  int int_bits = 0;
+  if (m > 0.0f) {
+    const double need = std::ceil(std::log2(static_cast<double>(m) + 1e-12));
+    int_bits = std::max(0, static_cast<int>(need));
+  }
+  int_bits = std::min(int_bits, bits - 2);
+  FixedFormat f;
+  f.bits = bits;
+  f.frac_bits = bits - 1 - int_bits;
+  f.validate();
+  return f;
+}
+
+void quantize_weights_per_channel_inplace(Tensor& w, int bits) {
+  if (w.rank() != 2) {
+    quantize_tensor_inplace(w, weight_format_for(w, bits));
+    return;
+  }
+  const std::int64_t rows = w.dim(0), cols = w.dim(1);
+  for (std::int64_t j = 0; j < cols; ++j) {
+    Tensor col({rows});
+    for (std::int64_t i = 0; i < rows; ++i) col.raw()[i] = w.raw()[i * cols + j];
+    const FixedFormat fmt = weight_format_for(col, bits);
+    for (std::int64_t i = 0; i < rows; ++i)
+      w.raw()[i * cols + j] = quantize_value(w.raw()[i * cols + j], fmt);
+  }
+}
+
+Fixed::Fixed(float v, FixedFormat fmt) : fmt_(fmt) {
+  fmt_.validate();
+  const double scaled = std::nearbyint(static_cast<double>(v) / fmt.step());
+  raw_ = saturate(static_cast<std::int64_t>(scaled), fmt.bits);
+}
+
+std::int64_t Fixed::saturate(std::int64_t v, int bits) {
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  return std::clamp(v, lo, hi);
+}
+
+float Fixed::to_float() const {
+  return static_cast<float>(static_cast<double>(raw_) * fmt_.step());
+}
+
+Fixed Fixed::operator+(const Fixed& o) const {
+  TVBF_REQUIRE(fmt_.bits == o.fmt_.bits && fmt_.frac_bits == o.fmt_.frac_bits,
+               "fixed-point addition requires matching formats");
+  Fixed out;
+  out.fmt_ = fmt_;
+  out.raw_ = saturate(raw_ + o.raw_, fmt_.bits);
+  return out;
+}
+
+Fixed Fixed::operator*(const Fixed& o) const {
+  // Widened product has frac_bits + o.frac_bits fractional bits; shift back
+  // to this format with round-to-nearest.
+  Fixed out;
+  out.fmt_ = fmt_;
+  const std::int64_t wide = raw_ * o.raw_;
+  const int shift = o.fmt_.frac_bits;
+  const std::int64_t half = shift > 0 ? (std::int64_t{1} << (shift - 1)) : 0;
+  const std::int64_t rounded =
+      shift > 0 ? ((wide >= 0 ? wide + half : wide + half - 1) >> shift) : wide;
+  out.raw_ = saturate(rounded, fmt_.bits);
+  return out;
+}
+
+double relative_quant_error(const Tensor& reference, const Tensor& q) {
+  const float m = max_abs(reference);
+  if (m == 0.0f) return 0.0;
+  return static_cast<double>(max_abs_diff(reference, q)) / m;
+}
+
+double rms_quant_error(const Tensor& reference, const Tensor& q) {
+  TVBF_REQUIRE(same_shape(reference.shape(), q.shape()),
+               "rms_quant_error shape mismatch");
+  const float m = max_abs(reference);
+  if (m == 0.0f || reference.size() == 0) return 0.0;
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < reference.size(); ++i) {
+    const double d =
+        static_cast<double>(reference.raw()[i]) - q.raw()[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(reference.size())) / m;
+}
+
+}  // namespace tvbf::quant

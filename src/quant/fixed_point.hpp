@@ -1,0 +1,93 @@
+// Fixed-point arithmetic primitives.
+//
+// The FPGA deployment of the paper uses signed two's-complement fixed point
+// with per-component bit-widths (Table III). Two representations are
+// provided:
+//  * FixedFormat + quantize_value: "fake quantization" — float values
+//    snapped to the representable grid with round-to-nearest and
+//    saturation. The quantized inference kernels use this (it is bit-exact
+//    with integer arithmetic whose products are rounded back to the same
+//    format, which unit tests verify).
+//  * Fixed: an actual integer-backed value type used by those tests and by
+//    the accelerator's PE model.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace tvbf::quant {
+
+/// Signed two's-complement fixed-point format: `bits` total (including
+/// sign), `frac_bits` fractional. Representable step is 2^-frac_bits.
+struct FixedFormat {
+  int bits = 16;
+  int frac_bits = 11;
+
+  /// Largest representable value.
+  double max_value() const;
+  /// Smallest (most negative) representable value.
+  double min_value() const;
+  /// Quantization step.
+  double step() const;
+
+  void validate() const;
+};
+
+/// Rounds to the nearest representable value, saturating at the range ends.
+float quantize_value(float v, const FixedFormat& fmt);
+
+/// Quantizes every element in place.
+void quantize_tensor_inplace(Tensor& t, const FixedFormat& fmt);
+
+/// Quantized copy.
+Tensor quantized(const Tensor& t, const FixedFormat& fmt);
+
+/// Activation/datapath format with a fixed integer-bit budget (the hardware
+/// datapath cannot rescale per tensor): frac = bits - 1 - integer_bits.
+FixedFormat activation_format(int bits, int integer_bits = 4);
+
+/// Per-tensor weight format: integer bits sized to the tensor's max |w|
+/// (hardware stores a per-layer shift), remaining bits fractional.
+FixedFormat weight_format_for(const Tensor& w, int bits);
+
+/// Per-output-channel weight quantization: each column of a rank-2 (in, out)
+/// weight matrix gets its own power-of-two scale (the hardware stores one
+/// shift per output lane — negligible overhead, much lower error at 8 bits).
+/// Rank-1 tensors (biases, norms) fall back to per-tensor scaling.
+void quantize_weights_per_channel_inplace(Tensor& w, int bits);
+
+/// Integer-backed fixed-point value (for tests and the PE model).
+class Fixed {
+ public:
+  Fixed() = default;
+  Fixed(float v, FixedFormat fmt);
+
+  /// Raw two's-complement integer payload.
+  std::int64_t raw() const { return raw_; }
+  const FixedFormat& format() const { return fmt_; }
+  float to_float() const;
+
+  /// Sum in the common format (formats must match).
+  Fixed operator+(const Fixed& o) const;
+  /// Product requantized back to this value's format (hardware truncates the
+  /// widened product after the multiplier).
+  Fixed operator*(const Fixed& o) const;
+
+ private:
+  static std::int64_t saturate(std::int64_t v, int bits);
+
+  std::int64_t raw_ = 0;
+  FixedFormat fmt_;
+};
+
+/// Max |a - b| between a tensor and its quantized counterpart, relative to
+/// max |a| (quantization error diagnostic).
+double relative_quant_error(const Tensor& reference, const Tensor& quantized);
+
+/// RMS |a - b| relative to max |a| — the image-level error metric (max-based
+/// error is dominated by isolated attention flips; RMS tracks what the eye
+/// sees in the B-mode).
+double rms_quant_error(const Tensor& reference, const Tensor& quantized);
+
+}  // namespace tvbf::quant

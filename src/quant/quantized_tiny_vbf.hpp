@@ -1,0 +1,67 @@
+// Fixed-point inference of a trained Tiny-VBF under a QuantScheme.
+//
+// Re-implements the network forward pass with plain tensor kernels and a
+// fake-quantization step after every hardware operation, mirroring the
+// datapath of the accelerator (Figs 5-8): weights are stored quantized,
+// every multiply/add result is rounded to the op width, softmax runs at its
+// own (wider) width, and each layer writes its output BRAM buffer at the
+// intermediate width. With QuantScheme::float_reference() the output is
+// bit-identical to TinyVbf::infer.
+#pragma once
+
+#include <memory>
+
+#include "models/tiny_vbf.hpp"
+#include "quant/scheme.hpp"
+
+namespace tvbf::quant {
+
+/// Quantized view over a trained Tiny-VBF model.
+class QuantizedTinyVbf {
+ public:
+  /// Captures (and quantizes) the model's weights; the model must outlive
+  /// nothing — weights are copied.
+  QuantizedTinyVbf(const models::TinyVbf& model, QuantScheme scheme);
+
+  /// Fixed-point forward pass: (nz, nx, nch) -> IQ (nz, nx, 2).
+  Tensor infer(const Tensor& input) const;
+
+  const QuantScheme& scheme() const { return scheme_; }
+  const models::TinyVbfConfig& config() const { return config_; }
+
+  /// Total bits of quantized parameter storage (BRAM budget input).
+  std::int64_t weight_storage_bits() const;
+
+ private:
+  struct DenseW {
+    Tensor w;
+    Tensor b;
+  };
+  struct BlockW {
+    Tensor ln1_gamma, ln1_beta;
+    DenseW wq, wk, wv, wo;
+    Tensor ln2_gamma, ln2_beta;
+    DenseW fc1, fc2;
+  };
+
+  Tensor dense(const Tensor& x, const DenseW& d) const;
+  Tensor layer_norm(const Tensor& x, const Tensor& gamma,
+                    const Tensor& beta) const;
+  Tensor softmax_last(const Tensor& x) const;
+  Tensor attention(const Tensor& x, const BlockW& blk) const;
+
+  /// Quantizes to the multiply/add op format (no-op for float schemes).
+  Tensor q_op(Tensor t) const;
+  /// Quantizes to the intermediate-buffer format.
+  Tensor q_inter(Tensor t) const;
+
+  models::TinyVbfConfig config_;
+  QuantScheme scheme_;
+  DenseW embed_;
+  Tensor pos_;
+  std::vector<BlockW> blocks_;
+  DenseW dec1_, dec2_;
+  std::int64_t param_count_ = 0;
+};
+
+}  // namespace tvbf::quant

@@ -1,0 +1,53 @@
+#include "quant/scheme.hpp"
+
+#include "common/error.hpp"
+
+namespace tvbf::quant {
+
+QuantScheme QuantScheme::float_reference() {
+  QuantScheme s;
+  s.name = "Float";
+  s.is_float = true;
+  return s;
+}
+
+QuantScheme QuantScheme::uniform(int bits) {
+  TVBF_REQUIRE(bits >= 8 && bits <= 32, "uniform width must be in [8, 32]");
+  QuantScheme s;
+  s.name = std::to_string(bits) + " bits";
+  s.is_float = false;
+  s.weight_bits = bits;  // uniform levels quantize the whole datapath
+  s.softmax_bits = bits;
+  s.op_bits = bits;
+  s.inter_bits = bits;
+  return s;
+}
+
+QuantScheme QuantScheme::hybrid1() {
+  QuantScheme s;
+  s.name = "Hybrid-1";
+  s.is_float = false;
+  s.weight_bits = 8;
+  s.softmax_bits = 24;
+  s.op_bits = 20;
+  s.inter_bits = 20;
+  return s;
+}
+
+QuantScheme QuantScheme::hybrid2() {
+  QuantScheme s;
+  s.name = "Hybrid-2";
+  s.is_float = false;
+  s.weight_bits = 8;
+  s.softmax_bits = 24;
+  s.op_bits = 16;
+  s.inter_bits = 16;
+  return s;
+}
+
+std::vector<QuantScheme> QuantScheme::paper_levels() {
+  return {float_reference(), uniform(24), uniform(20), uniform(16), hybrid1(),
+          hybrid2()};
+}
+
+}  // namespace tvbf::quant

@@ -1,0 +1,53 @@
+// Quantization schemes of the paper (Table III and the uniform levels of
+// Tables IV-VI): per-component bit-widths for weights, softmax, multiply/add
+// results and intermediate (layer output) buffers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "quant/fixed_point.hpp"
+
+namespace tvbf::quant {
+
+/// A named bit-width assignment.
+struct QuantScheme {
+  std::string name = "Float";
+  bool is_float = true;   ///< float reference: no quantization anywhere
+  int weight_bits = 8;
+  int softmax_bits = 24;
+  int op_bits = 20;       ///< multiply/add result width
+  int inter_bits = 20;    ///< intermediate (layer output) width
+  /// Integer bits reserved in the intermediate (layer output) buffers —
+  /// activations are bounded by the layer-norm/skip structure.
+  int integer_bits = 4;
+  /// Integer (guard) bits in the multiply/add and softmax units: the
+  /// accumulator must absorb worst-case dot-product growth (up to 128-term
+  /// sums) and the softmax exp-sum, so the hardware reserves 8 bits. This
+  /// is what makes a 16-bit op/softmax width lossy (7 fraction bits) while
+  /// 20/24-bit widths stay visually lossless — the mechanism behind the
+  /// paper's Tables IV/V and the wide softmax in both hybrid schemes.
+  int acc_integer_bits = 8;
+
+  FixedFormat op_format() const {
+    return activation_format(op_bits, acc_integer_bits);
+  }
+  FixedFormat inter_format() const {
+    return activation_format(inter_bits, integer_bits);
+  }
+  FixedFormat softmax_format() const {
+    return activation_format(softmax_bits, acc_integer_bits);
+  }
+
+  // --- the paper's levels ---
+  static QuantScheme float_reference();
+  static QuantScheme uniform(int bits);  ///< 24-, 20- or 16-bit datapath
+  static QuantScheme hybrid1();          ///< Table III column 1
+  static QuantScheme hybrid2();          ///< Table III column 2
+
+  /// All six levels in the order of Tables IV-VI:
+  /// Float, 24, 20, 16, Hybrid-1, Hybrid-2.
+  static std::vector<QuantScheme> paper_levels();
+};
+
+}  // namespace tvbf::quant

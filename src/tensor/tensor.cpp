@@ -1,0 +1,137 @@
+#include "tensor/tensor.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace tvbf {
+
+std::int64_t numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (auto d : shape) {
+    TVBF_REQUIRE(d >= 0, "shape dimensions must be non-negative");
+    n *= d;
+  }
+  return n;
+}
+
+std::string to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(numel(shape_)), 0.0f) {
+  TVBF_REQUIRE(shape_.size() <= 4, "tensor rank is limited to 4");
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(numel(shape_)), fill) {
+  TVBF_REQUIRE(shape_.size() <= 4, "tensor rank is limited to 4");
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  TVBF_REQUIRE(shape_.size() <= 4, "tensor rank is limited to 4");
+  TVBF_REQUIRE(static_cast<std::int64_t>(data_.size()) == numel(shape_),
+               "value count " + std::to_string(data_.size()) +
+                   " does not match shape " + to_string(shape_));
+}
+
+Tensor Tensor::from_vector(std::vector<float> values) {
+  const auto n = static_cast<std::int64_t>(values.size());
+  return Tensor({n}, std::move(values));
+}
+
+std::int64_t Tensor::dim(std::int64_t axis) const {
+  TVBF_REQUIRE(axis >= 0 && axis < rank(),
+               "axis " + std::to_string(axis) + " out of range for " +
+                   to_string(shape_));
+  return shape_[static_cast<std::size_t>(axis)];
+}
+
+float& Tensor::flat(std::int64_t i) {
+  TVBF_REQUIRE(i >= 0 && i < size(), "flat index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float Tensor::flat(std::int64_t i) const {
+  TVBF_REQUIRE(i >= 0 && i < size(), "flat index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Tensor::flat_index(std::span<const std::int64_t> idx) const {
+  TVBF_REQUIRE(static_cast<std::int64_t>(idx.size()) == rank(),
+               "index rank mismatch: got " + std::to_string(idx.size()) +
+                   " for shape " + to_string(shape_));
+  std::int64_t flat = 0;
+  for (std::size_t a = 0; a < idx.size(); ++a) {
+    TVBF_REQUIRE(idx[a] >= 0 && idx[a] < shape_[a],
+                 "index " + std::to_string(idx[a]) + " out of range on axis " +
+                     std::to_string(a) + " of " + to_string(shape_));
+    flat = flat * shape_[a] + idx[a];
+  }
+  return flat;
+}
+
+float& Tensor::at(std::int64_t i) {
+  const std::int64_t idx[] = {i};
+  return data_[static_cast<std::size_t>(flat_index(idx))];
+}
+float Tensor::at(std::int64_t i) const {
+  const std::int64_t idx[] = {i};
+  return data_[static_cast<std::size_t>(flat_index(idx))];
+}
+float& Tensor::at(std::int64_t i, std::int64_t j) {
+  const std::int64_t idx[] = {i, j};
+  return data_[static_cast<std::size_t>(flat_index(idx))];
+}
+float Tensor::at(std::int64_t i, std::int64_t j) const {
+  const std::int64_t idx[] = {i, j};
+  return data_[static_cast<std::size_t>(flat_index(idx))];
+}
+float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) {
+  const std::int64_t idx[] = {i, j, k};
+  return data_[static_cast<std::size_t>(flat_index(idx))];
+}
+float Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) const {
+  const std::int64_t idx[] = {i, j, k};
+  return data_[static_cast<std::size_t>(flat_index(idx))];
+}
+float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k,
+                  std::int64_t l) {
+  const std::int64_t idx[] = {i, j, k, l};
+  return data_[static_cast<std::size_t>(flat_index(idx))];
+}
+float Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k,
+                 std::int64_t l) const {
+  const std::int64_t idx[] = {i, j, k, l};
+  return data_[static_cast<std::size_t>(flat_index(idx))];
+}
+
+void Tensor::fill(float v) {
+  std::fill(data_.begin(), data_.end(), v);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor out = *this;
+  out.reshape(std::move(new_shape));
+  return out;
+}
+
+void Tensor::reshape(Shape new_shape) {
+  TVBF_REQUIRE(numel(new_shape) == size(),
+               "reshape from " + to_string(shape_) + " to " +
+                   to_string(new_shape) + " changes element count");
+  TVBF_REQUIRE(new_shape.size() <= 4, "tensor rank is limited to 4");
+  shape_ = std::move(new_shape);
+}
+
+}  // namespace tvbf

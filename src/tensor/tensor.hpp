@@ -1,0 +1,96 @@
+// Dense row-major float tensor, rank 0..4.
+//
+// This is the single numeric container shared by the DSP chain, the
+// beamformers, the neural-network stack and the quantized kernels. It is a
+// value type (copy = deep copy) per Core Guidelines C.10; views are expressed
+// with std::span over the flat storage where zero-copy access matters.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tvbf {
+
+/// Tensor extents, outermost dimension first. Rank 0 (scalar) is `{}`.
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements implied by a shape (1 for rank 0).
+std::int64_t numel(const Shape& shape);
+
+/// Human-readable "[a, b, c]" form for diagnostics.
+std::string to_string(const Shape& shape);
+
+/// True if both shapes are identical.
+inline bool same_shape(const Shape& a, const Shape& b) { return a == b; }
+
+/// Dense row-major float tensor.
+class Tensor {
+ public:
+  /// Empty rank-1 tensor of zero elements.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape with every element set to `fill`.
+  Tensor(Shape shape, float fill);
+
+  /// Tensor wrapping a copy of `values`; size must match the shape.
+  Tensor(Shape shape, std::vector<float> values);
+
+  /// Convenience factory for rank-1 data.
+  static Tensor from_vector(std::vector<float> values);
+
+  /// Uninitialized-shape helpers.
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t rank() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  std::int64_t dim(std::int64_t axis) const;
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+  float* raw() { return data_.data(); }
+  const float* raw() const { return data_.data(); }
+
+  /// Flat element access with bounds check.
+  float& flat(std::int64_t i);
+  float flat(std::int64_t i) const;
+
+  /// Multi-dimensional access; rank must match the argument count.
+  float& at(std::int64_t i);
+  float at(std::int64_t i) const;
+  float& at(std::int64_t i, std::int64_t j);
+  float at(std::int64_t i, std::int64_t j) const;
+  float& at(std::int64_t i, std::int64_t j, std::int64_t k);
+  float at(std::int64_t i, std::int64_t j, std::int64_t k) const;
+  float& at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l);
+  float at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) const;
+
+  /// Sets every element.
+  void fill(float v);
+
+  /// Returns a tensor with the same data and a new shape of equal numel.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// In-place reshape (numel must be preserved).
+  void reshape(Shape new_shape);
+
+  bool empty() const { return data_.empty(); }
+
+ private:
+  std::int64_t flat_index(std::span<const std::int64_t> idx) const;
+
+  Shape shape_{0};
+  std::vector<float> data_;
+};
+
+}  // namespace tvbf

@@ -1,0 +1,138 @@
+#include "us/phantom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tvbf::us {
+namespace {
+
+bool inside_any_cyst(double x, double z, const std::vector<Cyst>& cysts) {
+  for (const auto& c : cysts) {
+    const double dx = x - c.x;
+    const double dz = z - c.z;
+    if (dx * dx + dz * dz < c.radius * c.radius) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Phantom make_speckle(const Region& region, const SpeckleOptions& opt, Rng& rng,
+                     const std::vector<Cyst>& cysts) {
+  TVBF_REQUIRE(region.width() > 0.0 && region.depth_extent() > 0.0,
+               "speckle region must have positive area");
+  TVBF_REQUIRE(opt.density_per_mm2 > 0.0, "speckle density must be positive");
+  const double area_mm2 = region.width() * region.depth_extent() * 1e6;
+  const auto target =
+      static_cast<std::int64_t>(std::llround(area_mm2 * opt.density_per_mm2));
+  Phantom ph;
+  ph.region = region;
+  ph.cysts = cysts;
+  ph.scatterers.reserve(static_cast<std::size_t>(target));
+  // Rejection-sample positions outside cysts so inclusions are anechoic.
+  std::int64_t placed = 0;
+  std::int64_t attempts = 0;
+  const std::int64_t max_attempts = target * 20 + 1000;
+  while (placed < target && attempts < max_attempts) {
+    ++attempts;
+    const double x = rng.uniform(region.x_min, region.x_max);
+    const double z = rng.uniform(region.z_min, region.z_max);
+    if (inside_any_cyst(x, z, cysts)) continue;
+    ph.scatterers.push_back({x, z, rng.normal(0.0, opt.amplitude_sigma)});
+    ++placed;
+  }
+  return ph;
+}
+
+Phantom make_contrast_phantom(Rng& rng, const std::vector<double>& cyst_depths_m,
+                              double cyst_radius_m, const Region& region,
+                              const SpeckleOptions& opt) {
+  TVBF_REQUIRE(!cyst_depths_m.empty(), "contrast phantom needs >= 1 cyst");
+  TVBF_REQUIRE(cyst_radius_m > 0.0, "cyst radius must be positive");
+  std::vector<Cyst> cysts;
+  cysts.reserve(cyst_depths_m.size());
+  for (double z : cyst_depths_m) {
+    TVBF_REQUIRE(z - cyst_radius_m > region.z_min &&
+                     z + cyst_radius_m < region.z_max,
+                 "cyst at depth " + std::to_string(z) + " m leaves the region");
+    cysts.push_back({0.0, z, cyst_radius_m});
+  }
+  return make_speckle(region, opt, rng, cysts);
+}
+
+Phantom make_resolution_phantom(const std::vector<double>& row_depths_m,
+                                std::int64_t points_per_row,
+                                double lateral_span_m, const Region& region) {
+  TVBF_REQUIRE(!row_depths_m.empty(), "resolution phantom needs >= 1 row");
+  TVBF_REQUIRE(points_per_row >= 1, "need >= 1 point per row");
+  TVBF_REQUIRE(lateral_span_m >= 0.0, "lateral span must be non-negative");
+  Phantom ph;
+  ph.region = region;
+  for (double z : row_depths_m) {
+    TVBF_REQUIRE(z > region.z_min && z < region.z_max,
+                 "point row depth outside region");
+    for (std::int64_t i = 0; i < points_per_row; ++i) {
+      const double x =
+          points_per_row == 1
+              ? 0.0
+              : -lateral_span_m / 2.0 +
+                    lateral_span_m * static_cast<double>(i) /
+                        static_cast<double>(points_per_row - 1);
+      const Scatterer s{x, z, 1.0};
+      ph.scatterers.push_back(s);
+      ph.points.push_back(s);
+    }
+  }
+  return ph;
+}
+
+Phantom make_single_point(double z_m, double x_m, const Region& region) {
+  TVBF_REQUIRE(region.contains(x_m, z_m), "point target outside region");
+  Phantom ph;
+  ph.region = region;
+  const Scatterer s{x_m, z_m, 1.0};
+  ph.scatterers.push_back(s);
+  ph.points.push_back(s);
+  return ph;
+}
+
+Phantom make_random_training_phantom(Rng& rng, const Region& region,
+                                     const SpeckleOptions& opt) {
+  // 0-2 cysts at random positions, kept inside the region; the radius is
+  // capped so a cyst always fits (small test regions would otherwise
+  // invert the placement bounds).
+  std::vector<Cyst> cysts;
+  const double r_cap = std::min(
+      {5e-3, region.width() / 4.0, region.depth_extent() / 4.0});
+  const auto n_cysts =
+      r_cap >= 1e-3 ? static_cast<std::int64_t>(rng.uniform_index(3)) : 0;
+  for (std::int64_t i = 0; i < n_cysts; ++i) {
+    const double r = rng.uniform(std::min(2e-3, r_cap * 0.5), r_cap);
+    Cyst c;
+    c.radius = r;
+    c.x = rng.uniform(region.x_min + r * 1.5, region.x_max - r * 1.5);
+    c.z = rng.uniform(region.z_min + r * 1.5, region.z_max - r * 1.5);
+    cysts.push_back(c);
+  }
+  Phantom ph = make_speckle(region, opt, rng, cysts);
+  // 0-4 bright point targets sharpen the PSF-matching part of the loss.
+  const auto n_points = static_cast<std::int64_t>(rng.uniform_index(5));
+  const double margin_x = 0.1 * region.width();
+  const double margin_z = 0.1 * region.depth_extent();
+  for (std::int64_t i = 0; i < n_points; ++i) {
+    Scatterer s;
+    s.x = rng.uniform(region.x_min + margin_x, region.x_max - margin_x);
+    s.z = rng.uniform(region.z_min + margin_z, region.z_max - margin_z);
+    // Moderately bright targets: strong enough to shape the PSF loss term,
+    // weak enough that frame normalization stays speckle-dominated (the
+    // evaluation phantoms contain no isolated bright reflectors).
+    s.amplitude = rng.uniform(3.0, 6.0);
+    ph.scatterers.push_back(s);
+    ph.points.push_back(s);
+  }
+  return ph;
+}
+
+}  // namespace tvbf::us

@@ -1,0 +1,97 @@
+// Numerical phantoms: collections of point scatterers.
+//
+// The PICMUS-style presets mirror the geometry the paper evaluates on:
+//  * resolution-distortion: rows of isolated point targets at two depth
+//    bands against an anechoic background (Figs 11-14, Table II);
+//  * contrast: anechoic cysts embedded in fully-developed speckle at three
+//    depths (Figs 9-10, Table I).
+// An "in-vitro" preset re-seeds the speckle and enables attenuation/noise in
+// the simulator parameters to mimic experimental phantom acquisitions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace tvbf::us {
+
+/// Point scatterer at (x, z) with reflectivity `amplitude`.
+struct Scatterer {
+  double x = 0.0;          ///< lateral position [m]
+  double z = 0.0;          ///< depth [m] (z > 0 below the array)
+  double amplitude = 1.0;  ///< reflectivity (arbitrary linear units)
+};
+
+/// Axis-aligned lateral/depth region.
+struct Region {
+  double x_min = -19.0e-3;
+  double x_max = 19.0e-3;
+  double z_min = 5.0e-3;
+  double z_max = 45.0e-3;
+
+  double width() const { return x_max - x_min; }
+  double depth_extent() const { return z_max - z_min; }
+  bool contains(double x, double z) const {
+    return x >= x_min && x <= x_max && z >= z_min && z <= z_max;
+  }
+};
+
+/// Circular inclusion (cyst) description.
+struct Cyst {
+  double x = 0.0;       ///< center lateral position [m]
+  double z = 0.0;       ///< center depth [m]
+  double radius = 4e-3; ///< radius [m]
+};
+
+/// A phantom is a set of scatterers plus metadata used by the metric ROIs.
+struct Phantom {
+  std::vector<Scatterer> scatterers;
+  std::vector<Cyst> cysts;          ///< anechoic inclusions (for ROI placement)
+  std::vector<Scatterer> points;    ///< isolated targets (for PSF metrics)
+  Region region;
+
+  std::int64_t size() const { return static_cast<std::int64_t>(scatterers.size()); }
+};
+
+/// Options controlling speckle generation.
+struct SpeckleOptions {
+  /// Mean scatterer count per square millimeter. ~2/mm^2 gives fully
+  /// developed speckle for a 7.6 MHz probe at PICMUS-like resolution cells.
+  double density_per_mm2 = 2.0;
+  /// Reflectivity amplitudes are N(0, amplitude_sigma).
+  double amplitude_sigma = 1.0;
+};
+
+/// Uniform speckle over `region`, excluding the interiors of `cysts`.
+Phantom make_speckle(const Region& region, const SpeckleOptions& opt, Rng& rng,
+                     const std::vector<Cyst>& cysts = {});
+
+/// PICMUS-like contrast phantom: anechoic cysts at the given depths on the
+/// array axis, embedded in speckle. Default depths follow Fig. 9 (13/25/37 mm).
+Phantom make_contrast_phantom(Rng& rng,
+                              const std::vector<double>& cyst_depths_m =
+                                  {13e-3, 25e-3, 37e-3},
+                              double cyst_radius_m = 4e-3,
+                              const Region& region = {},
+                              const SpeckleOptions& opt = {});
+
+/// PICMUS-like resolution-distortion phantom: horizontal rows of point
+/// targets at two depth bands (defaults follow Fig. 11: 15 mm and 35 mm),
+/// anechoic background.
+Phantom make_resolution_phantom(const std::vector<double>& row_depths_m =
+                                    {15e-3, 35e-3},
+                                std::int64_t points_per_row = 5,
+                                double lateral_span_m = 24e-3,
+                                const Region& region = {});
+
+/// Single on-axis point target (unit amplitude) — PSF calibration target.
+Phantom make_single_point(double z_m, double x_m = 0.0,
+                          const Region& region = {});
+
+/// Random training phantom: a mix of speckle, 0-2 cysts and 0-4 bright point
+/// targets, randomized within the region — used to build training corpora.
+Phantom make_random_training_phantom(Rng& rng, const Region& region = {},
+                                     const SpeckleOptions& opt = {});
+
+}  // namespace tvbf::us

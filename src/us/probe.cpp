@@ -1,0 +1,43 @@
+#include "us/probe.hpp"
+
+#include "common/error.hpp"
+
+namespace tvbf::us {
+
+double Probe::element_x(std::int64_t e) const {
+  TVBF_REQUIRE(e >= 0 && e < num_elements, "element index out of range");
+  const double center = static_cast<double>(num_elements - 1) / 2.0;
+  return (static_cast<double>(e) - center) * pitch;
+}
+
+std::vector<double> Probe::element_positions() const {
+  std::vector<double> xs(static_cast<std::size_t>(num_elements));
+  for (std::int64_t e = 0; e < num_elements; ++e)
+    xs[static_cast<std::size_t>(e)] = element_x(e);
+  return xs;
+}
+
+void Probe::validate() const {
+  TVBF_REQUIRE(num_elements >= 2, "probe needs at least 2 elements");
+  TVBF_REQUIRE(pitch > 0.0, "pitch must be positive");
+  TVBF_REQUIRE(element_width > 0.0 && element_width <= pitch,
+               "element width must be in (0, pitch]");
+  TVBF_REQUIRE(center_frequency > 0.0, "center frequency must be positive");
+  TVBF_REQUIRE(sampling_frequency > 2.0 * center_frequency,
+               "sampling frequency must exceed Nyquist for the pulse");
+  TVBF_REQUIRE(sound_speed > 0.0, "sound speed must be positive");
+  TVBF_REQUIRE(fractional_bandwidth > 0.0 && fractional_bandwidth < 2.0,
+               "fractional bandwidth must be in (0, 2)");
+}
+
+Probe Probe::test_probe(std::int64_t elements) {
+  Probe p;
+  p.num_elements = elements;
+  p.pitch = 0.3e-3;
+  p.element_width = 0.27e-3;
+  p.center_frequency = 5.0e6;
+  p.sampling_frequency = 20.0e6;
+  return p;
+}
+
+}  // namespace tvbf::us

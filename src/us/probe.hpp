@@ -1,0 +1,45 @@
+// Linear-array transducer model.
+//
+// Defaults follow the acquisition setup of the paper: a 128-element L11-5v
+// style linear array at 7.6 MHz center frequency sampled at 31.25 MHz
+// (Verasonics Vantage 128). All geometry is in SI units (meters, seconds).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tvbf::us {
+
+/// Linear-array probe description.
+struct Probe {
+  std::int64_t num_elements = 128;   ///< transducer channel count
+  double pitch = 0.3e-3;             ///< element center spacing [m]
+  double element_width = 0.27e-3;    ///< element aperture [m] (kerf ~0.03 mm)
+  double center_frequency = 7.6e6;   ///< pulse center frequency [Hz]
+  double sampling_frequency = 31.25e6;  ///< ADC rate [Hz]
+  double sound_speed = 1540.0;       ///< assumed medium speed of sound [m/s]
+  double fractional_bandwidth = 0.67;  ///< -6 dB pulse bandwidth / fc
+
+  /// Lateral position of element `e`, centered on the array middle.
+  double element_x(std::int64_t e) const;
+
+  /// All element positions.
+  std::vector<double> element_positions() const;
+
+  /// Total aperture width [m].
+  double aperture() const { return pitch * static_cast<double>(num_elements - 1); }
+
+  /// Wavelength at the center frequency [m].
+  double wavelength() const { return sound_speed / center_frequency; }
+
+  /// Validates physical plausibility; throws InvalidArgument otherwise.
+  void validate() const;
+
+  /// The paper's acquisition configuration (alias of the defaults).
+  static Probe l11_5v() { return Probe{}; }
+
+  /// Reduced probe for fast tests/benches: fewer channels, lower fs.
+  static Probe test_probe(std::int64_t elements = 32);
+};
+
+}  // namespace tvbf::us

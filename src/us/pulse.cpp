@@ -1,0 +1,26 @@
+#include "us/pulse.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tvbf::us {
+
+Pulse::Pulse(double fc, double fractional_bw) : fc_(fc) {
+  TVBF_REQUIRE(fc > 0.0, "pulse center frequency must be positive");
+  TVBF_REQUIRE(fractional_bw > 0.0 && fractional_bw < 2.0,
+               "fractional bandwidth must be in (0, 2)");
+  // A Gaussian envelope exp(-t^2 / (2 sigma^2)) has a -6 dB spectral width
+  // of bw = fc * fbw when sigma = 2 sqrt(ln 2) / (pi * bw) (power spectrum
+  // halves at bw/2 from the carrier).
+  const double bw = fc * fractional_bw;
+  sigma_ = 2.0 * std::sqrt(std::log(2.0)) / (M_PI * bw);
+}
+
+double Pulse::operator()(double t) const {
+  if (std::fabs(t) > half_support()) return 0.0;
+  const double env = std::exp(-t * t / (2.0 * sigma_ * sigma_));
+  return env * std::cos(2.0 * M_PI * fc_ * t);
+}
+
+}  // namespace tvbf::us

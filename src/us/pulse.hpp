@@ -1,0 +1,30 @@
+// Transmit pulse model: Gaussian-modulated sinusoid.
+//
+// The two-way (transmit convolved with receive impulse response) pulse is
+// approximated by a single Gaussian envelope whose -6 dB bandwidth matches
+// the probe's fractional bandwidth — the standard Field-II-style surrogate.
+#pragma once
+
+namespace tvbf::us {
+
+/// Gaussian-modulated cosine pulse centered at t = 0.
+class Pulse {
+ public:
+  /// fc: center frequency [Hz]; fractional_bw: -6 dB fractional bandwidth.
+  Pulse(double fc, double fractional_bw);
+
+  /// Pulse amplitude at time t [s].
+  double operator()(double t) const;
+
+  /// Half-width of the effective support (|t| > half_support() => ~0).
+  double half_support() const { return 4.0 * sigma_; }
+
+  double sigma() const { return sigma_; }
+  double center_frequency() const { return fc_; }
+
+ private:
+  double fc_;
+  double sigma_;  // Gaussian envelope std-dev [s]
+};
+
+}  // namespace tvbf::us

@@ -1,0 +1,159 @@
+#include "us/simulator.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "us/pulse.hpp"
+
+namespace tvbf::us {
+
+SimParams SimParams::in_silico() {
+  SimParams p;
+  p.snr_db = 60.0;
+  p.attenuation_db_cm_mhz = 0.0;
+  p.channel_gain_sigma = 0.0;
+  p.seed = 1234;
+  return p;
+}
+
+SimParams SimParams::in_vitro() {
+  SimParams p;
+  p.snr_db = 35.0;
+  p.attenuation_db_cm_mhz = 0.5;
+  p.channel_gain_sigma = 0.05;
+  p.seed = 5678;
+  return p;
+}
+
+namespace {
+
+/// Soft-baffle element directivity: sinc of the projected element width
+/// times the obliquity factor cos(phi).
+double directivity(double sin_phi, double cos_phi, double width,
+                   double wavelength) {
+  const double arg = M_PI * width / wavelength * sin_phi;
+  const double s = arg == 0.0 ? 1.0 : std::sin(arg) / arg;
+  return s * cos_phi;
+}
+
+}  // namespace
+
+Acquisition simulate_plane_wave(const Probe& probe, const Phantom& phantom,
+                                double steering_angle_rad,
+                                const SimParams& params) {
+  probe.validate();
+  TVBF_REQUIRE(!phantom.scatterers.empty(),
+               "cannot simulate an empty phantom (no scatterers)");
+  TVBF_REQUIRE(params.max_depth > 0.0, "max_depth must be positive");
+  TVBF_REQUIRE(std::fabs(steering_angle_rad) < M_PI / 3.0,
+               "steering angle beyond +/-60 degrees is not supported");
+
+  const double c = probe.sound_speed;
+  const double fs = probe.sampling_frequency;
+  const Pulse pulse(probe.center_frequency, probe.fractional_bandwidth);
+
+  // Acquisition window: two-way time to max depth plus pulse tails.
+  const double t_max = 2.0 * params.max_depth / c + 2.0 * pulse.half_support();
+  const auto n_samples = static_cast<std::int64_t>(std::ceil(t_max * fs)) + 1;
+  const std::int64_t n_ch = probe.num_elements;
+
+  Acquisition acq;
+  acq.probe = probe;
+  acq.steering_angle_rad = steering_angle_rad;
+  acq.t0 = 0.0;
+  acq.rf = Tensor({n_samples, n_ch});
+
+  const auto xs = probe.element_positions();
+  const double sin_th = std::sin(steering_angle_rad);
+  const double cos_th = std::cos(steering_angle_rad);
+  const double lambda = probe.wavelength();
+  // Plane-wave transmit reference: t=0 when the wavefront crosses the point
+  // of the aperture it reaches first, so transmit delays are non-negative.
+  const double tx_offset =
+      sin_th >= 0.0 ? xs.front() * sin_th : xs.back() * sin_th;
+
+  // Amplitude attenuation coefficient in nepers per meter at fc.
+  const double alpha_np_per_m =
+      params.attenuation_db_cm_mhz * (probe.center_frequency / 1e6) * 100.0 /
+      8.685889638;
+
+  // Per-channel gain (element sensitivity spread).
+  Rng gain_rng(params.seed ^ 0xabcdef12345ULL);
+  std::vector<double> gain(static_cast<std::size_t>(n_ch), 1.0);
+  if (params.channel_gain_sigma > 0.0)
+    for (auto& g : gain)
+      g = std::max(0.1, gain_rng.normal(1.0, params.channel_gain_sigma));
+
+  const double support = pulse.half_support();
+  float* rf = acq.rf.raw();
+
+  parallel_for_each(0, static_cast<std::size_t>(n_ch), [&](std::size_t ei) {
+    const auto e = static_cast<std::int64_t>(ei);
+    const double xe = xs[ei];
+    for (const auto& s : phantom.scatterers) {
+      // Transmit: plane wave reaches (x, z) after projecting on the
+      // propagation direction; receive: spherical return to the element.
+      const double t_tx = (s.z * cos_th + s.x * sin_th - tx_offset) / c;
+      const double dx = s.x - xe;
+      const double r_rx = std::sqrt(dx * dx + s.z * s.z);
+      const double t_arrival = t_tx + r_rx / c;
+      const double total_path = t_tx * c + r_rx;
+
+      double amp = s.amplitude;
+      if (params.spreading) amp /= std::max(r_rx, 1e-4);
+      if (params.directivity && r_rx > 0.0)
+        amp *= directivity(dx / r_rx, s.z / r_rx, probe.element_width, lambda);
+      if (alpha_np_per_m > 0.0) amp *= std::exp(-alpha_np_per_m * total_path);
+      amp *= gain[ei];
+      if (amp == 0.0) continue;
+
+      // Accumulate the pulse over its finite support only.
+      const auto i_lo = static_cast<std::int64_t>(
+          std::floor((t_arrival - support) * fs));
+      const auto i_hi = static_cast<std::int64_t>(
+          std::ceil((t_arrival + support) * fs));
+      const std::int64_t lo = std::max<std::int64_t>(0, i_lo);
+      const std::int64_t hi = std::min(n_samples - 1, i_hi);
+      for (std::int64_t i = lo; i <= hi; ++i) {
+        const double t = static_cast<double>(i) / fs - t_arrival;
+        rf[i * n_ch + e] += static_cast<float>(amp * pulse(t));
+      }
+    }
+  }, /*min_grain=*/1);
+
+  // Time-gain compensation: undo the mean attenuation profile so deep
+  // echoes match the shallow ones (receive-chain TGC). Applied before the
+  // noise stage mirrors an analog TGC amplifier ahead of the ADC; the noise
+  // term below is ADC-referred and unaffected.
+  if (params.apply_tgc && alpha_np_per_m > 0.0) {
+    for (std::int64_t i = 0; i < n_samples; ++i) {
+      const double t = static_cast<double>(i) / fs;
+      const double gain = std::exp(alpha_np_per_m * c * t);
+      for (std::int64_t e = 0; e < n_ch; ++e)
+        rf[i * n_ch + e] = static_cast<float>(rf[i * n_ch + e] * gain);
+    }
+  }
+
+  // Additive white noise at the requested RF SNR (relative to signal RMS).
+  if (params.add_noise && params.snr_db > 0.0) {
+    double power = 0.0;
+    for (std::int64_t i = 0; i < acq.rf.size(); ++i) {
+      const double v = rf[i];
+      power += v * v;
+    }
+    power /= static_cast<double>(acq.rf.size());
+    if (power > 0.0) {
+      const double noise_sigma =
+          std::sqrt(power / std::pow(10.0, params.snr_db / 10.0));
+      Rng noise_rng(params.seed);
+      for (std::int64_t i = 0; i < acq.rf.size(); ++i)
+        rf[i] += static_cast<float>(noise_rng.normal(0.0, noise_sigma));
+    }
+  }
+
+  return acq;
+}
+
+}  // namespace tvbf::us

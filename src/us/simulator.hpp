@@ -1,0 +1,66 @@
+// Plane-wave RF channel-data simulator.
+//
+// Replaces the Verasonics/Field-II acquisitions of the paper (see DESIGN.md
+// substitution table): for every (scatterer, element) pair the two-way
+// arrival time under a steered plane-wave transmit is computed and the
+// transmit pulse is accumulated into the element's RF line, weighted by
+// element directivity, spherical spreading and frequency-dependent
+// attenuation. Thermal noise is added per the configured SNR.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+#include "us/phantom.hpp"
+#include "us/probe.hpp"
+
+namespace tvbf::us {
+
+/// One plane-wave transmit/receive event: RF channel data plus metadata.
+struct Acquisition {
+  Probe probe;
+  double steering_angle_rad = 0.0;  ///< plane-wave steering angle
+  double t0 = 0.0;                  ///< time of the first RF sample [s]
+  /// RF channel data, shape (num_samples, num_elements).
+  Tensor rf;
+
+  std::int64_t num_samples() const { return rf.rank() == 2 ? rf.dim(0) : 0; }
+  std::int64_t num_channels() const { return rf.rank() == 2 ? rf.dim(1) : 0; }
+};
+
+/// Simulator controls.
+struct SimParams {
+  double max_depth = 45e-3;       ///< acquisition window covers 2*max_depth/c
+  double snr_db = 60.0;           ///< RF SNR; <= 0 disables noise entirely
+  bool add_noise = true;
+  /// Amplitude attenuation [dB / (cm * MHz)]; 0 disables. In-vitro presets
+  /// use ~0.5 (tissue-mimicking phantom).
+  double attenuation_db_cm_mhz = 0.0;
+  /// Time-gain compensation: the receive chain amplifies late samples by
+  /// exp(+alpha c t) to undo `attenuation_db_cm_mhz`, exactly as a real
+  /// scanner's TGC stage does (noise at depth is amplified along with the
+  /// signal). Ignored when attenuation is 0.
+  bool apply_tgc = true;
+  /// Per-channel gain spread (std-dev, multiplicative); models element
+  /// sensitivity variation in experimental probes. 0 disables.
+  double channel_gain_sigma = 0.0;
+  /// Element directivity on/off (soft-baffle sinc model).
+  bool directivity = true;
+  /// 1/r spherical spreading on/off.
+  bool spreading = true;
+  std::uint64_t seed = 1234;      ///< noise / gain seed
+
+  /// Paper-like in-silico settings (clean, Field-II-style).
+  static SimParams in_silico();
+  /// Experimental-phantom settings: attenuation, noise, gain spread.
+  static SimParams in_vitro();
+};
+
+/// Simulates one single-angle plane-wave acquisition of `phantom`.
+/// Throws InvalidArgument for empty phantoms or non-physical parameters.
+Acquisition simulate_plane_wave(const Probe& probe, const Phantom& phantom,
+                                double steering_angle_rad,
+                                const SimParams& params);
+
+}  // namespace tvbf::us

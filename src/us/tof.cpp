@@ -1,0 +1,144 @@
+#include "us/tof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "dsp/hilbert.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace tvbf::us {
+
+std::int64_t ImagingGrid::column_of(double x) const {
+  const auto ix = static_cast<std::int64_t>(std::llround((x - x0) / dx));
+  return std::clamp<std::int64_t>(ix, 0, nx - 1);
+}
+
+std::int64_t ImagingGrid::row_of(double z) const {
+  const auto iz = static_cast<std::int64_t>(std::llround((z - z0) / dz));
+  return std::clamp<std::int64_t>(iz, 0, nz - 1);
+}
+
+void ImagingGrid::validate() const {
+  TVBF_REQUIRE(nx >= 1 && nz >= 1, "grid must have at least one pixel");
+  TVBF_REQUIRE(dx > 0.0 && dz > 0.0, "grid spacings must be positive");
+  TVBF_REQUIRE(z0 > 0.0, "grid must start below the array (z0 > 0)");
+}
+
+ImagingGrid ImagingGrid::paper(const Probe& probe) {
+  ImagingGrid g;
+  g.nx = 128;
+  g.nz = 368;
+  g.x0 = probe.element_x(0);
+  g.dx = probe.aperture() / static_cast<double>(g.nx - 1);
+  g.z0 = 5e-3;
+  g.dz = (42e-3 - 5e-3) / static_cast<double>(g.nz - 1);
+  return g;
+}
+
+ImagingGrid ImagingGrid::reduced(const Probe& probe, std::int64_t nz,
+                                 std::int64_t nx, double z_min, double z_max) {
+  TVBF_REQUIRE(nz >= 2 && nx >= 2, "reduced grid needs nz, nx >= 2");
+  TVBF_REQUIRE(z_max > z_min && z_min > 0.0, "invalid depth range");
+  ImagingGrid g;
+  g.nx = nx;
+  g.nz = nz;
+  g.x0 = probe.element_x(0);
+  g.dx = probe.aperture() / static_cast<double>(nx - 1);
+  g.z0 = z_min;
+  g.dz = (z_max - z_min) / static_cast<double>(nz - 1);
+  return g;
+}
+
+double two_way_delay(double x, double z, double xe, double sin_theta,
+                     double cos_theta, double tx_offset, double sound_speed) {
+  const double t_tx = (z * cos_theta + x * sin_theta - tx_offset) / sound_speed;
+  const double dx = x - xe;
+  const double t_rx = std::sqrt(dx * dx + z * z) / sound_speed;
+  return t_tx + t_rx;
+}
+
+TofCube tof_correct(const Acquisition& acq, const ImagingGrid& grid,
+                    const TofParams& params) {
+  grid.validate();
+  TVBF_REQUIRE(acq.rf.rank() == 2 && acq.num_samples() > 1,
+               "acquisition holds no RF data");
+  const std::int64_t n_samples = acq.num_samples();
+  const std::int64_t n_ch = acq.num_channels();
+  TVBF_REQUIRE(n_ch == acq.probe.num_elements,
+               "RF channel count does not match the probe");
+
+  const double fs = acq.probe.sampling_frequency;
+  const double c = acq.probe.sound_speed;
+  const auto xs = acq.probe.element_positions();
+  const double sin_th = std::sin(acq.steering_angle_rad);
+  const double cos_th = std::cos(acq.steering_angle_rad);
+  const double tx_offset =
+      sin_th >= 0.0 ? xs.front() * sin_th : xs.back() * sin_th;
+
+  // Re-layout channel data as (nch, nsamples) so per-channel interpolation
+  // reads contiguously; optionally build the analytic signal per channel.
+  std::vector<std::vector<float>> ch_re(static_cast<std::size_t>(n_ch));
+  std::vector<std::vector<float>> ch_im;
+  if (params.analytic) ch_im.resize(static_cast<std::size_t>(n_ch));
+  parallel_for_each(0, static_cast<std::size_t>(n_ch), [&](std::size_t e) {
+    std::vector<float> line(static_cast<std::size_t>(n_samples));
+    for (std::int64_t i = 0; i < n_samples; ++i)
+      line[static_cast<std::size_t>(i)] =
+          acq.rf.raw()[i * n_ch + static_cast<std::int64_t>(e)];
+    if (params.analytic) {
+      const auto a = dsp::analytic_signal(line);
+      ch_re[e].resize(a.size());
+      ch_im[e].resize(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ch_re[e][i] = static_cast<float>(a[i].real());
+        ch_im[e][i] = static_cast<float>(a[i].imag());
+      }
+    } else {
+      ch_re[e] = std::move(line);
+    }
+  }, /*min_grain=*/1);
+
+  TofCube cube;
+  cube.grid = grid;
+  cube.real = Tensor({grid.nz, grid.nx, n_ch});
+  if (params.analytic) cube.imag = Tensor({grid.nz, grid.nx, n_ch});
+
+  parallel_for_each(0, static_cast<std::size_t>(grid.nz), [&](std::size_t zi) {
+    const auto iz = static_cast<std::int64_t>(zi);
+    const double z = grid.z_at(iz);
+    for (std::int64_t ix = 0; ix < grid.nx; ++ix) {
+      const double x = grid.x_at(ix);
+      float* out_re = cube.real.raw() + (iz * grid.nx + ix) * n_ch;
+      float* out_im =
+          params.analytic ? cube.imag.raw() + (iz * grid.nx + ix) * n_ch
+                          : nullptr;
+      for (std::int64_t e = 0; e < n_ch; ++e) {
+        const double tau = two_way_delay(
+            x, z, xs[static_cast<std::size_t>(e)], sin_th, cos_th, tx_offset, c);
+        const double idx = (tau - acq.t0) * fs;
+        out_re[e] = dsp::interp(ch_re[static_cast<std::size_t>(e)], idx,
+                                params.interp);
+        if (out_im != nullptr)
+          out_im[e] = dsp::interp(ch_im[static_cast<std::size_t>(e)], idx,
+                                  params.interp);
+      }
+    }
+  }, /*min_grain=*/1);
+
+  return cube;
+}
+
+float normalize_cube(TofCube& cube) {
+  float m = max_abs(cube.real);
+  if (cube.is_analytic()) m = std::max(m, max_abs(cube.imag));
+  if (m == 0.0f) return 0.0f;
+  const float inv = 1.0f / m;
+  for (auto& v : cube.real.data()) v *= inv;
+  if (cube.is_analytic())
+    for (auto& v : cube.imag.data()) v *= inv;
+  return m;
+}
+
+}  // namespace tvbf::us

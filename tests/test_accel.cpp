@@ -1,0 +1,223 @@
+// Tests for the accelerator simulator: PE numerics, cycle model properties,
+// the Tiny-VBF schedule and the resource model (Table VI shapes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "accel/pe.hpp"
+#include "accel/resource_model.hpp"
+#include "common/rng.hpp"
+
+namespace tvbf::accel {
+namespace {
+
+TEST(Pe, Dot16MatchesSerialSum) {
+  Rng rng(1);
+  std::vector<float> a(16), b(16);
+  for (int i = 0; i < 16; ++i) {
+    a[static_cast<std::size_t>(i)] = static_cast<float>(rng.normal());
+    b[static_cast<std::size_t>(i)] = static_cast<float>(rng.normal());
+  }
+  double ref = 0.0;
+  for (int i = 0; i < 16; ++i)
+    ref += static_cast<double>(a[static_cast<std::size_t>(i)]) *
+           b[static_cast<std::size_t>(i)];
+  EXPECT_NEAR(ProcessingElement::dot16(a, b), ref, 1e-4);
+}
+
+TEST(Pe, Dot16ShortVectorsPadWithZero) {
+  std::vector<float> a{1.0f, 2.0f}, b{3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(ProcessingElement::dot16(a, b), 11.0f);
+  EXPECT_THROW(ProcessingElement::dot16(a, std::vector<float>{1.0f}),
+               InvalidArgument);
+  std::vector<float> too_long(17, 1.0f);
+  EXPECT_THROW(ProcessingElement::dot16(too_long, too_long), InvalidArgument);
+}
+
+TEST(Pe, FixedDotTracksFloatWithinQuantError) {
+  Rng rng(2);
+  const quant::FixedFormat fmt{16, 11};
+  std::vector<float> a(16), b(16);
+  for (int i = 0; i < 16; ++i) {
+    a[static_cast<std::size_t>(i)] = static_cast<float>(rng.uniform(-1, 1));
+    b[static_cast<std::size_t>(i)] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  const float fref = ProcessingElement::dot16(a, b);
+  const float ffix = ProcessingElement::dot16_fixed(a, b, fmt);
+  // 16 products each off by <= step, plus input rounding.
+  EXPECT_NEAR(ffix, fref, 40.0 * fmt.step());
+}
+
+TEST(Pe, DotCycles) {
+  EXPECT_EQ(ProcessingElement::dot_cycles(1),
+            1 + ProcessingElement::kPipelineDepth);
+  EXPECT_EQ(ProcessingElement::dot_cycles(16),
+            1 + ProcessingElement::kPipelineDepth);
+  EXPECT_EQ(ProcessingElement::dot_cycles(17),
+            2 + ProcessingElement::kPipelineDepth);
+  EXPECT_THROW(ProcessingElement::dot_cycles(0), InvalidArgument);
+}
+
+TEST(AccelConfig, Validation) {
+  AccelConfig c;
+  EXPECT_NO_THROW(c.validate());
+  c.num_pes = 0;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+  c = AccelConfig{};
+  c.clock_hz = 0.0;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+}
+
+TEST(CycleModel, MatmulScalesWithWork) {
+  const AcceleratorSim sim;
+  const auto base = sim.matmul_cycles(1, 32, 64, 32);
+  EXPECT_GT(sim.matmul_cycles(2, 32, 64, 32), base);       // batch
+  EXPECT_GT(sim.matmul_cycles(1, 64, 64, 32), base);       // rows
+  EXPECT_GT(sim.matmul_cycles(1, 32, 256, 32), base);      // depth
+  EXPECT_THROW(sim.matmul_cycles(0, 1, 1, 1), InvalidArgument);
+}
+
+TEST(CycleModel, MatmulUsesAllPes) {
+  // 4 PEs should be ~4x faster than 1 PE on the same product.
+  AccelConfig one;
+  one.num_pes = 1;
+  const AcceleratorSim sim1(one);
+  const AcceleratorSim sim4;  // default 4 PEs
+  const auto c1 = sim1.matmul_cycles(1, 64, 64, 64);
+  const auto c4 = sim4.matmul_cycles(1, 64, 64, 64);
+  EXPECT_NEAR(static_cast<double>(c1) / static_cast<double>(c4), 4.0, 0.5);
+}
+
+TEST(CycleModel, AncillaryOps) {
+  const AcceleratorSim sim;
+  EXPECT_GT(sim.elementwise_cycles(1000), 0);
+  EXPECT_GT(sim.softmax_cycles(10, 32), sim.softmax_cycles(1, 32));
+  EXPECT_GT(sim.layernorm_cycles(10, 32), 0);
+  EXPECT_THROW(sim.elementwise_cycles(0), InvalidArgument);
+  EXPECT_THROW(sim.softmax_cycles(1, 0), InvalidArgument);
+}
+
+TEST(TinyVbfSchedule, TotalsAreConsistent) {
+  const AcceleratorSim sim;
+  const models::TinyVbfConfig cfg = models::TinyVbfConfig::test(16, 32);
+  const AccelReport rep = sim.run_tiny_vbf(cfg, 48);
+  ASSERT_FALSE(rep.ops.empty());
+  std::int64_t cycles = 0, macs = 0;
+  for (const auto& op : rep.ops) {
+    EXPECT_GT(op.cycles, 0) << op.name;
+    cycles += op.cycles;
+    macs += op.macs;
+  }
+  EXPECT_EQ(cycles, rep.total_cycles);
+  EXPECT_EQ(macs, rep.total_macs);
+  EXPECT_NEAR(rep.latency_seconds, cycles / 100e6, 1e-12);
+  EXPECT_GT(rep.utilization, 0.0);
+  EXPECT_LE(rep.utilization, 1.0);
+}
+
+TEST(TinyVbfSchedule, LatencyScalesWithFrameDepth) {
+  const AcceleratorSim sim;
+  const models::TinyVbfConfig cfg = models::TinyVbfConfig::test(16, 32);
+  const auto r1 = sim.run_tiny_vbf(cfg, 32);
+  const auto r2 = sim.run_tiny_vbf(cfg, 64);
+  EXPECT_NEAR(static_cast<double>(r2.total_cycles) / r1.total_cycles, 2.0,
+              0.2);
+}
+
+TEST(TinyVbfSchedule, MacsMatchAnalyticCount) {
+  // Scheduled MAC total must equal the model's matmul MACs
+  // (ops_per_frame counts 2 ops per MAC plus non-matmul extras).
+  const AcceleratorSim sim;
+  const models::TinyVbfConfig cfg = models::TinyVbfConfig::paper();
+  const AccelReport rep = sim.run_tiny_vbf(cfg, 368);
+  Rng rng(1);
+  const models::TinyVbf model(cfg, rng);
+  const double ratio = 2.0 * static_cast<double>(rep.total_macs) /
+                       static_cast<double>(model.ops_per_frame(368));
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LE(ratio, 1.0);
+}
+
+TEST(TinyVbfSchedule, PaperScaleRealTimeCapable) {
+  // At 100 MHz the accelerator should beat the paper's 0.23 s CPU time by a
+  // wide margin (that is the point of the deployment).
+  const AcceleratorSim sim;
+  const AccelReport rep = sim.run_tiny_vbf(models::TinyVbfConfig::paper(), 368);
+  EXPECT_LT(rep.latency_seconds, 0.23);
+  EXPECT_GT(rep.latency_seconds, 1e-5);
+}
+
+class ResourceLevels : public ::testing::Test {
+ protected:
+  ResourceModel model_;
+  std::vector<ResourceReport> reports_ = model_.estimate_paper_levels();
+  // Order: Float, 24, 20, 16, Hybrid-1, Hybrid-2.
+};
+
+TEST_F(ResourceLevels, FloatIsMostExpensive) {
+  const auto& f = reports_[0];
+  for (std::size_t i = 1; i < reports_.size(); ++i) {
+    EXPECT_GT(f.lut, reports_[i].lut) << reports_[i].scheme;
+    EXPECT_GT(f.ff, reports_[i].ff) << reports_[i].scheme;
+    EXPECT_GT(f.lutram, reports_[i].lutram) << reports_[i].scheme;
+    EXPECT_GE(f.power_w, reports_[i].power_w) << reports_[i].scheme;
+    EXPECT_GE(f.bram36, reports_[i].bram36) << reports_[i].scheme;
+  }
+}
+
+TEST_F(ResourceLevels, UniformLevelsDecreaseWithWidth) {
+  // 24 >= 20 >= 16 for LUT/FF/power.
+  EXPECT_GE(reports_[1].lut, reports_[2].lut);
+  EXPECT_GE(reports_[2].lut, reports_[3].lut);
+  EXPECT_GE(reports_[1].ff, reports_[2].ff);
+  EXPECT_GE(reports_[2].ff, reports_[3].ff);
+  EXPECT_GE(reports_[1].power_w, reports_[3].power_w);
+}
+
+TEST_F(ResourceLevels, BramCliffAt16Bits) {
+  // <= 18-bit values pack two per BRAM word: 16-bit needs ~half the BRAM of
+  // 20-bit (paper: 82 vs 156).
+  EXPECT_LT(reports_[3].bram36, 0.65 * reports_[2].bram36);
+}
+
+TEST_F(ResourceLevels, Hybrid2SavesHalfVsFloat) {
+  // The headline claim: > 50% resource reduction (Fig 1b).
+  const auto& f = reports_[0];
+  const auto& h2 = reports_[5];
+  EXPECT_LT(h2.ff, 0.5 * f.ff);
+  EXPECT_LT(h2.lut, 0.55 * f.lut);
+  EXPECT_LT(h2.dsp, 0.55 * f.dsp);
+  EXPECT_LT(h2.lutram, 0.35 * f.lutram);
+}
+
+TEST_F(ResourceLevels, DspMappingMatchesPaperQuirk) {
+  // The paper reports fewer DSPs at 20-bit (148) than at 16-bit (274); the
+  // model encodes that synthesis mapping.
+  EXPECT_LT(reports_[2].dsp, reports_[3].dsp);
+  EXPECT_NEAR(reports_[0].dsp, 533.0, 40.0);
+  EXPECT_NEAR(reports_[2].dsp, 148.0, 30.0);
+}
+
+TEST_F(ResourceLevels, FitsOnZcu104) {
+  const auto cap = ResourceModel::zcu104();
+  for (const auto& r : reports_) {
+    EXPECT_LT(r.lut, cap.lut) << r.scheme;
+    EXPECT_LT(r.ff, cap.ff) << r.scheme;
+    EXPECT_LT(r.bram36, cap.bram36) << r.scheme;
+    EXPECT_LT(r.dsp, cap.dsp) << r.scheme;
+  }
+}
+
+TEST(ResourceModelScaling, LanesScaleDatapathCosts) {
+  const ResourceModel small(32), big(64);
+  const auto s = small.estimate(quant::QuantScheme::uniform(16));
+  const auto b = big.estimate(quant::QuantScheme::uniform(16));
+  EXPECT_LT(s.lut, b.lut);
+  EXPECT_LT(s.dsp, b.dsp);
+  EXPECT_THROW(ResourceModel(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tvbf::accel

@@ -1,0 +1,176 @@
+// Unit tests for src/common: deterministic RNG, thread pool, error macros.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace tvbf {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_THROW(r.uniform(2.0, 1.0), InvalidArgument);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(9);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(2.0, 3.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeSigma) {
+  Rng r(10);
+  EXPECT_THROW(r.normal(0.0, -1.0), InvalidArgument);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng r(11);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[r.uniform_index(7)];
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+  EXPECT_THROW(r.uniform_index(0), InvalidArgument);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split();
+  // The child stream should not replay the parent's output.
+  Rng b(42);
+  (void)b.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (child.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(10000);
+  parallel_for_each(0, hits.size(), [&](std::size_t i) { hits[i]++; },
+                    /*min_grain=*/1);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ChunksPartitionRange) {
+  std::atomic<std::size_t> total{0};
+  parallel_for(
+      0, 5000,
+      [&](std::size_t b, std::size_t e) { total += e - b; },
+      /*min_grain=*/16);
+  EXPECT_EQ(total.load(), 5000u);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, PropagatesWorkerException) {
+  EXPECT_THROW(
+      parallel_for_each(0, 1000,
+                        [&](std::size_t i) {
+                          if (i == 500) throw std::runtime_error("boom");
+                        },
+                        /*min_grain=*/1),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, NestedCallsRunSerially) {
+  std::atomic<int> total{0};
+  parallel_for_each(0, 64, [&](std::size_t) {
+    // Nested parallel_for must not deadlock; it degrades to serial.
+    parallel_for_each(0, 10, [&](std::size_t) { total++; }, 1);
+  }, 1);
+  EXPECT_EQ(total.load(), 640);
+}
+
+class ThreadCountTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThreadCountTest, SumIsThreadCountInvariant) {
+  set_thread_count(GetParam());
+  std::vector<double> data(20000);
+  std::iota(data.begin(), data.end(), 0.0);
+  std::atomic<long long> sum{0};
+  parallel_for_each(0, data.size(),
+                    [&](std::size_t i) { sum += static_cast<long long>(data[i]); },
+                    /*min_grain=*/8);
+  EXPECT_EQ(sum.load(), 19999LL * 20000 / 2);
+  set_thread_count(0);  // restore default
+}
+
+INSTANTIATE_TEST_SUITE_P(Pool, ThreadCountTest,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x += std::sin(i);
+  EXPECT_GE(t.seconds(), 0.0);
+  const double before = t.seconds();
+  t.reset();
+  EXPECT_LE(t.seconds(), before + 1.0);
+}
+
+TEST(ErrorMacros, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(TVBF_REQUIRE(false, "message"), InvalidArgument);
+  EXPECT_NO_THROW(TVBF_REQUIRE(true, "message"));
+}
+
+TEST(ErrorMacros, EnsureThrowsLogicError) {
+  EXPECT_THROW(TVBF_ENSURE(false, "message"), LogicError);
+}
+
+TEST(ErrorMacros, MessageContainsContext) {
+  try {
+    TVBF_REQUIRE(1 == 2, "my context");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("my context"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace tvbf

@@ -1,0 +1,262 @@
+// Unit and property tests for the DSP substrate: FFT, Hilbert/envelope,
+// IQ demodulation, log compression, interpolation and windows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/hilbert.hpp"
+#include "dsp/interpolate.hpp"
+#include "dsp/window.hpp"
+
+namespace tvbf::dsp {
+namespace {
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> x(3);
+  EXPECT_THROW(fft_inplace(x), tvbf::InvalidArgument);
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<std::complex<double>> x(8, {0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  const auto spec = fft(x);
+  for (const auto& v : spec) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> x(n);
+  const std::size_t k0 = 5;
+  for (std::size_t t = 0; t < n; ++t) {
+    const double ph = 2.0 * M_PI * static_cast<double>(k0 * t) / n;
+    x[t] = {std::cos(ph), std::sin(ph)};
+  }
+  const auto spec = fft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == k0)
+      EXPECT_NEAR(std::abs(spec[k]), static_cast<double>(n), 1e-9);
+    else
+      EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-9);
+  }
+}
+
+class FftSize : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSize, MatchesReferenceDft) {
+  tvbf::Rng rng(GetParam());
+  std::vector<std::complex<double>> x(GetParam());
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  const auto fast = fft(x);
+  const auto ref = dft_reference(x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(std::abs(fast[i] - ref[i]), 0.0, 1e-8 * x.size());
+}
+
+TEST_P(FftSize, RoundTripIsIdentity) {
+  tvbf::Rng rng(GetParam() + 1);
+  std::vector<std::complex<double>> x(GetParam());
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  const auto back = ifft(fft(x));
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(std::abs(back[i] - x[i]), 0.0, 1e-10 * x.size());
+}
+
+TEST_P(FftSize, ParsevalHolds) {
+  tvbf::Rng rng(GetParam() + 2);
+  std::vector<std::complex<double>> x(GetParam());
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  const auto spec = fft(x);
+  double time_e = 0.0, freq_e = 0.0;
+  for (const auto& v : x) time_e += std::norm(v);
+  for (const auto& v : spec) freq_e += std::norm(v);
+  EXPECT_NEAR(freq_e / static_cast<double>(x.size()), time_e,
+              1e-9 * time_e * x.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSize,
+                         ::testing::Values(1, 2, 4, 8, 32, 128, 512));
+
+TEST(Hilbert, RealPartReproducesInput) {
+  tvbf::Rng rng(12);
+  std::vector<float> x(300);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  const auto a = analytic_signal(x);
+  ASSERT_EQ(a.size(), x.size());
+  // Zero-padding to 512 perturbs the tail slightly; interior must match.
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(a[i].real(), x[i], 2e-2) << "at " << i;
+}
+
+TEST(Hilbert, EnvelopeOfToneIsConstant) {
+  // envelope(cos(wt)) == 1 away from the edges.
+  const std::size_t n = 512;
+  std::vector<float> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = static_cast<float>(std::cos(2.0 * M_PI * 40.0 * i / n));
+  const auto env = envelope(x);
+  for (std::size_t i = n / 8; i < 7 * n / 8; ++i)
+    EXPECT_NEAR(env[i], 1.0f, 5e-3) << "at " << i;
+}
+
+TEST(Hilbert, EnvelopeRecoversGaussianPulse) {
+  // envelope(gauss(t) * cos(w t)) ~= gauss(t).
+  const std::size_t n = 1024;
+  std::vector<float> x(n);
+  const double c = n / 2.0, sigma = 40.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double g = std::exp(-(i - c) * (i - c) / (2 * sigma * sigma));
+    x[i] = static_cast<float>(g * std::cos(2.0 * M_PI * 0.2 * i));
+  }
+  const auto env = envelope(x);
+  for (std::size_t i = 100; i + 100 < n; ++i) {
+    const double g = std::exp(-(i - c) * (i - c) / (2 * sigma * sigma));
+    EXPECT_NEAR(env[i], g, 0.02);
+  }
+}
+
+TEST(Hilbert, EmptyInputThrows) {
+  EXPECT_THROW(analytic_signal({}), tvbf::InvalidArgument);
+}
+
+TEST(IqDemod, ShiftsToneToBaseband) {
+  // A tone at fc demodulates to a (nearly) constant complex value.
+  const double fs = 20e6, fc = 5e6;
+  const std::size_t n = 1024;
+  std::vector<float> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = static_cast<float>(std::cos(2.0 * M_PI * fc * i / fs));
+  const auto iq = iq_demodulate(x, fc, fs);
+  for (std::size_t i = 64; i + 64 < n; ++i) {
+    EXPECT_NEAR(std::abs(iq[i]), 1.0, 1e-2);
+    EXPECT_NEAR(iq[i].real(), 1.0, 2e-2);  // phase ~ 0
+  }
+}
+
+TEST(IqDemod, ValidatesFrequencies) {
+  std::vector<float> x(16, 1.0f);
+  EXPECT_THROW(iq_demodulate(x, -1.0, 10.0), tvbf::InvalidArgument);
+  EXPECT_THROW(iq_demodulate(x, 6.0, 10.0), tvbf::InvalidArgument);
+}
+
+TEST(EnvelopeColumns, PerColumnMatchesVectorEnvelope) {
+  const std::int64_t nz = 128, nx = 3;
+  Tensor rf({nz, nx});
+  tvbf::Rng rng(13);
+  for (auto& v : rf.data()) v = static_cast<float>(rng.normal());
+  const Tensor env = envelope_columns(rf);
+  for (std::int64_t x = 0; x < nx; ++x) {
+    std::vector<float> col(static_cast<std::size_t>(nz));
+    for (std::int64_t z = 0; z < nz; ++z)
+      col[static_cast<std::size_t>(z)] = rf.at(z, x);
+    const auto ref = envelope(col);
+    for (std::int64_t z = 0; z < nz; ++z)
+      EXPECT_NEAR(env.at(z, x), ref[static_cast<std::size_t>(z)], 1e-5);
+  }
+}
+
+TEST(EnvelopeIq, Magnitude) {
+  Tensor iq({1, 2, 2}, std::vector<float>{3, 4, 0, -2});
+  const Tensor env = envelope_iq(iq);
+  EXPECT_FLOAT_EQ(env.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(env.at(0, 1), 2.0f);
+  EXPECT_THROW(envelope_iq(Tensor({2, 2})), tvbf::InvalidArgument);
+}
+
+TEST(LogCompress, NormalizesAndClips) {
+  Tensor env({1, 3}, std::vector<float>{1.0f, 0.1f, 1e-9f});
+  const Tensor db = log_compress(env, 40.0);
+  EXPECT_FLOAT_EQ(db.at(0, 0), 0.0f);
+  EXPECT_NEAR(db.at(0, 1), -20.0f, 1e-4);
+  EXPECT_FLOAT_EQ(db.at(0, 2), -40.0f);  // clipped at the dynamic range
+}
+
+TEST(LogCompress, RejectsInvalidInput) {
+  EXPECT_THROW(log_compress(Tensor({2, 2}), 60.0), tvbf::InvalidArgument);
+  Tensor neg({1, 1}, std::vector<float>{-1.0f});
+  EXPECT_THROW(log_compress(neg, 60.0), tvbf::InvalidArgument);
+  Tensor ok({1, 1}, std::vector<float>{1.0f});
+  EXPECT_THROW(log_compress(ok, -5.0), tvbf::InvalidArgument);
+}
+
+TEST(Interpolate, LinearIsExactOnLines) {
+  std::vector<float> x{0.0f, 2.0f, 4.0f, 6.0f};
+  EXPECT_FLOAT_EQ(interp_linear(x, 1.5), 3.0f);
+  EXPECT_FLOAT_EQ(interp_linear(x, 0.25), 0.5f);
+  EXPECT_FLOAT_EQ(interp_linear(x, 3.0), 6.0f);
+}
+
+TEST(Interpolate, OutOfRangeReturnsZero) {
+  std::vector<float> x{1.0f, 2.0f};
+  EXPECT_FLOAT_EQ(interp_linear(x, -0.1), 0.0f);
+  EXPECT_FLOAT_EQ(interp_linear(x, 1.1), 0.0f);
+  EXPECT_FLOAT_EQ(interp_cubic(x, 5.0), 0.0f);
+  EXPECT_FLOAT_EQ(interp_linear({}, 0.0), 0.0f);
+}
+
+TEST(Interpolate, CubicReproducesQuadratics) {
+  // Catmull-Rom is exact for polynomials up to degree 3 on interior spans.
+  std::vector<float> x(10);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = static_cast<float>(0.5 * i * i - i + 2.0);
+  for (double t = 2.0; t <= 7.0; t += 0.13) {
+    const double expect = 0.5 * t * t - t + 2.0;
+    EXPECT_NEAR(interp_cubic(x, t), expect, 1e-4) << "t=" << t;
+  }
+}
+
+TEST(Interpolate, CubicFallsBackToLinearAtEdges) {
+  std::vector<float> x{0.0f, 1.0f, 2.0f, 3.0f};
+  EXPECT_FLOAT_EQ(interp_cubic(x, 0.5), interp_linear(x, 0.5));
+}
+
+class WindowCase : public ::testing::TestWithParam<WindowKind> {};
+
+TEST_P(WindowCase, SymmetricAndBounded) {
+  const auto w = make_window(GetParam(), 33);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w[i], 0.0f);
+    EXPECT_LE(w[i], 1.0f + 1e-6f);
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-6) << "at " << i;
+  }
+  // Center of a symmetric window is its maximum.
+  EXPECT_NEAR(w[16], *std::max_element(w.begin(), w.end()), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, WindowCase,
+                         ::testing::Values(WindowKind::kBoxcar,
+                                           WindowKind::kHann,
+                                           WindowKind::kHamming,
+                                           WindowKind::kTukey25));
+
+TEST(Window, KnownValues) {
+  EXPECT_FLOAT_EQ(window_at(WindowKind::kBoxcar, 0.5), 1.0f);
+  EXPECT_NEAR(window_at(WindowKind::kHann, 0.5), 1.0, 1e-6);
+  EXPECT_NEAR(window_at(WindowKind::kHann, 0.0), 0.0, 1e-6);
+  EXPECT_NEAR(window_at(WindowKind::kHamming, 0.0), 0.08, 1e-6);
+  EXPECT_FLOAT_EQ(window_at(WindowKind::kHann, -0.1), 0.0f);
+  EXPECT_FLOAT_EQ(window_at(WindowKind::kHann, 1.1), 0.0f);
+}
+
+TEST(Window, SingleAndZeroLength) {
+  EXPECT_EQ(make_window(WindowKind::kHann, 1), std::vector<float>{1.0f});
+  EXPECT_THROW(make_window(WindowKind::kHann, 0), tvbf::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tvbf::dsp

@@ -1,0 +1,181 @@
+// Tests for the extension beamformers: coherence-factor weighted DAS and
+// coherent plane-wave compounding (CPWC).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "beamform/coherence_factor.hpp"
+#include "beamform/compounding.hpp"
+#include "beamform/das.hpp"
+#include "common/rng.hpp"
+#include "dsp/hilbert.hpp"
+#include "metrics/image_quality.hpp"
+#include "metrics/resolution.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace tvbf::bf {
+namespace {
+
+class ExtensionPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    probe_ = new us::Probe(us::Probe::test_probe(32));
+    grid_ = new us::ImagingGrid(
+        us::ImagingGrid::reduced(*probe_, 128, 64, 12e-3, 26e-3));
+    sim_ = new us::SimParams(us::SimParams::in_silico());
+    sim_->max_depth = 30e-3;
+    Rng rng(3);
+    us::Region region{grid_->x0, grid_->x_end(), grid_->z0, grid_->z_end()};
+    cyst_ = new us::Cyst{0.0, 19e-3, 2.5e-3};
+    us::SpeckleOptions opt;
+    opt.density_per_mm2 = 3.0;
+    cyst_phantom_ =
+        new us::Phantom(us::make_speckle(region, opt, rng, {*cyst_}));
+    point_phantom_ = new us::Phantom(us::make_single_point(19e-3, 0.0, region));
+    const us::Acquisition acq =
+        us::simulate_plane_wave(*probe_, *cyst_phantom_, 0.0, *sim_);
+    iq_cube_ = new us::TofCube(
+        us::tof_correct(acq, *grid_, {.analytic = true}));
+    rf_cube_ = new us::TofCube(us::tof_correct(acq, *grid_, {}));
+  }
+  static void TearDownTestSuite() {
+    delete probe_;
+    delete grid_;
+    delete sim_;
+    delete cyst_;
+    delete cyst_phantom_;
+    delete point_phantom_;
+    delete iq_cube_;
+    delete rf_cube_;
+  }
+
+  static us::Probe* probe_;
+  static us::ImagingGrid* grid_;
+  static us::SimParams* sim_;
+  static us::Cyst* cyst_;
+  static us::Phantom* cyst_phantom_;
+  static us::Phantom* point_phantom_;
+  static us::TofCube* iq_cube_;
+  static us::TofCube* rf_cube_;
+};
+
+us::Probe* ExtensionPipeline::probe_ = nullptr;
+us::ImagingGrid* ExtensionPipeline::grid_ = nullptr;
+us::SimParams* ExtensionPipeline::sim_ = nullptr;
+us::Cyst* ExtensionPipeline::cyst_ = nullptr;
+us::Phantom* ExtensionPipeline::cyst_phantom_ = nullptr;
+us::Phantom* ExtensionPipeline::point_phantom_ = nullptr;
+us::TofCube* ExtensionPipeline::iq_cube_ = nullptr;
+us::TofCube* ExtensionPipeline::rf_cube_ = nullptr;
+
+TEST_F(ExtensionPipeline, CfRequiresAnalyticCube) {
+  const CoherenceFactorBeamformer cf(*probe_);
+  EXPECT_THROW(cf.beamform(*rf_cube_), InvalidArgument);
+  EXPECT_THROW(CoherenceFactorBeamformer(*probe_, 0.0), InvalidArgument);
+}
+
+TEST_F(ExtensionPipeline, CfImprovesContrastOverDas) {
+  const DasBeamformer das(*probe_);
+  const CoherenceFactorBeamformer cf(*probe_);
+  const auto m_das = metrics::contrast_metrics(
+      dsp::envelope_iq(das.beamform(*iq_cube_)), *grid_, *cyst_);
+  const auto m_cf = metrics::contrast_metrics(
+      dsp::envelope_iq(cf.beamform(*iq_cube_)), *grid_, *cyst_);
+  EXPECT_GT(m_cf.cr_db, m_das.cr_db);
+}
+
+TEST_F(ExtensionPipeline, CfGammaControlsAggressiveness) {
+  const CoherenceFactorBeamformer soft(*probe_, 0.5);
+  const CoherenceFactorBeamformer hard(*probe_, 2.0);
+  const auto m_soft = metrics::contrast_metrics(
+      dsp::envelope_iq(soft.beamform(*iq_cube_)), *grid_, *cyst_);
+  const auto m_hard = metrics::contrast_metrics(
+      dsp::envelope_iq(hard.beamform(*iq_cube_)), *grid_, *cyst_);
+  EXPECT_GT(m_hard.cr_db, m_soft.cr_db);
+}
+
+TEST_F(ExtensionPipeline, CfHandlesSilentCube) {
+  us::TofCube silent = *iq_cube_;
+  silent.real.fill(0.0f);
+  silent.imag.fill(0.0f);
+  const CoherenceFactorBeamformer cf(*probe_);
+  const Tensor iq = cf.beamform(silent);
+  EXPECT_FLOAT_EQ(max_abs(iq), 0.0f);
+}
+
+TEST(CompoundingParams, AngleGeneration) {
+  CompoundingParams p;
+  p.num_angles = 5;
+  p.max_angle_rad = 0.2;
+  const auto a = p.angles();
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_DOUBLE_EQ(a.front(), -0.2);
+  EXPECT_DOUBLE_EQ(a.back(), 0.2);
+  EXPECT_DOUBLE_EQ(a[2], 0.0);
+  p.num_angles = 1;
+  EXPECT_EQ(p.angles(), std::vector<double>{0.0});
+  p.num_angles = 0;
+  EXPECT_THROW(p.angles(), InvalidArgument);
+  p.num_angles = 3;
+  p.max_angle_rad = 2.0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST_F(ExtensionPipeline, SingleAngleCompoundEqualsDas) {
+  CompoundingParams p;
+  p.num_angles = 1;
+  us::SimParams clean = *sim_;
+  clean.add_noise = false;
+  const Tensor compound =
+      compound_plane_waves(*probe_, *point_phantom_, *grid_, clean, p);
+  const us::Acquisition acq =
+      us::simulate_plane_wave(*probe_, *point_phantom_, 0.0, clean);
+  const DasBeamformer das(*probe_, p.apodization);
+  const Tensor direct = das.beamform(us::tof_correct(acq, *grid_, p.tof));
+  EXPECT_TRUE(allclose(compound, direct, 1e-4f, 1e-5f));
+}
+
+TEST_F(ExtensionPipeline, CompoundingImprovesResolutionAndContrast) {
+  // The paper's motivating trade-off: more angles -> better image.
+  CompoundingParams one;
+  one.num_angles = 1;
+  CompoundingParams many;
+  many.num_angles = 7;
+  const Tensor iq1 =
+      compound_plane_waves(*probe_, *point_phantom_, *grid_, *sim_, one);
+  const Tensor iq7 =
+      compound_plane_waves(*probe_, *point_phantom_, *grid_, *sim_, many);
+  const auto w1 = metrics::psf_widths(dsp::envelope_iq(iq1), *grid_, 0.0,
+                                      19e-3, 2.0);
+  const auto w7 = metrics::psf_widths(dsp::envelope_iq(iq7), *grid_, 0.0,
+                                      19e-3, 2.0);
+  ASSERT_TRUE(w1.valid && w7.valid);
+  EXPECT_LE(w7.lateral_mm, w1.lateral_mm * 1.05);
+
+  const Tensor c1 =
+      compound_plane_waves(*probe_, *cyst_phantom_, *grid_, *sim_, one);
+  const Tensor c7 =
+      compound_plane_waves(*probe_, *cyst_phantom_, *grid_, *sim_, many);
+  const auto m1 = metrics::contrast_metrics(dsp::envelope_iq(c1), *grid_, *cyst_);
+  const auto m7 = metrics::contrast_metrics(dsp::envelope_iq(c7), *grid_, *cyst_);
+  EXPECT_GT(m7.cr_db, m1.cr_db);
+}
+
+TEST(Compounding, RejectsEmptyAndMismatched) {
+  CompoundingParams p;
+  const us::ImagingGrid grid =
+      us::ImagingGrid::reduced(us::Probe::test_probe(16), 32, 16);
+  EXPECT_THROW(compound_acquisitions({}, grid, p), InvalidArgument);
+  // Mismatched probes across acquisitions.
+  const us::Phantom ph = us::make_single_point(20e-3);
+  us::SimParams sim = us::SimParams::in_silico();
+  sim.max_depth = 30e-3;
+  const auto a16 =
+      us::simulate_plane_wave(us::Probe::test_probe(16), ph, 0.0, sim);
+  const auto a32 =
+      us::simulate_plane_wave(us::Probe::test_probe(32), ph, 0.0, sim);
+  EXPECT_THROW(compound_acquisitions({a16, a32}, grid, p), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tvbf::bf

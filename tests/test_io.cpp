@@ -1,0 +1,82 @@
+// Tests for the artifact writers (PGM images, CSV series).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/writers.hpp"
+
+namespace tvbf::io {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::remove(pgm_.c_str());
+    std::remove(csv_.c_str());
+  }
+  std::string pgm_ = ::testing::TempDir() + "/tvbf_test.pgm";
+  std::string csv_ = ::testing::TempDir() + "/tvbf_test.csv";
+};
+
+TEST_F(IoTest, PgmHeaderAndPixelMapping) {
+  Tensor db({2, 3});
+  db.at(0, 0) = 0.0f;     // peak -> 255
+  db.at(0, 1) = -30.0f;   // mid -> ~127
+  db.at(0, 2) = -60.0f;   // floor -> 0
+  db.at(1, 0) = -90.0f;   // below floor -> clamped to 0
+  write_pgm_db(pgm_, db, 60.0);
+  std::ifstream is(pgm_, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  is >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxval, 255);
+  is.get();  // single whitespace after header
+  unsigned char px[6];
+  is.read(reinterpret_cast<char*>(px), 6);
+  EXPECT_EQ(px[0], 255);
+  EXPECT_NEAR(px[1], 128, 2);
+  EXPECT_EQ(px[2], 0);
+  EXPECT_EQ(px[3], 0);
+}
+
+TEST_F(IoTest, PgmRejectsBadInput) {
+  EXPECT_THROW(write_pgm_db(pgm_, Tensor({4}), 60.0), InvalidArgument);
+  EXPECT_THROW(write_pgm_db(pgm_, Tensor({2, 2}), -1.0), InvalidArgument);
+  EXPECT_THROW(write_pgm_db("/nonexistent/x.pgm", Tensor({2, 2}), 60.0),
+               InvalidArgument);
+}
+
+TEST_F(IoTest, CsvRoundTrip) {
+  write_csv(csv_, {"a", "b"}, {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  std::ifstream is(csv_);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(is, line);
+  EXPECT_EQ(line, "1,4");
+  std::getline(is, line);
+  EXPECT_EQ(line, "2,5");
+}
+
+TEST_F(IoTest, CsvValidation) {
+  EXPECT_THROW(write_csv(csv_, {"a"}, {}), InvalidArgument);
+  EXPECT_THROW(write_csv(csv_, {"a", "b"}, {{1.0}}), InvalidArgument);
+  EXPECT_THROW(write_csv(csv_, {"a", "b"}, {{1.0}, {1.0, 2.0}}),
+               InvalidArgument);
+}
+
+TEST_F(IoTest, EnsureDirectoryCreatesNested) {
+  const std::string dir = ::testing::TempDir() + "/tvbf_io_a/b/c";
+  ensure_directory(dir);
+  std::ofstream probe(dir + "/probe.txt");
+  EXPECT_TRUE(probe.is_open());
+  ensure_directory(dir);  // idempotent
+}
+
+}  // namespace
+}  // namespace tvbf::io

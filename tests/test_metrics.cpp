@@ -1,0 +1,215 @@
+// Tests for the image-quality metrics on synthetic images with known
+// ground-truth values: CR, CNR, GCNR, FWHM, profiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "metrics/image_quality.hpp"
+#include "metrics/resolution.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace tvbf::metrics {
+namespace {
+
+us::ImagingGrid make_grid(std::int64_t nz = 100, std::int64_t nx = 100) {
+  us::ImagingGrid g;
+  g.nz = nz;
+  g.nx = nx;
+  g.x0 = -10e-3;
+  g.z0 = 10e-3;
+  g.dx = 20e-3 / static_cast<double>(nx - 1);
+  g.dz = 20e-3 / static_cast<double>(nz - 1);
+  return g;
+}
+
+/// Envelope with a dark disc (value `inside`) in a bright field (`outside`).
+Tensor cyst_image(const us::ImagingGrid& g, const us::Cyst& c, float inside,
+                  float outside, Rng* rng = nullptr, float jitter = 0.0f) {
+  Tensor env({g.nz, g.nx});
+  for (std::int64_t iz = 0; iz < g.nz; ++iz)
+    for (std::int64_t ix = 0; ix < g.nx; ++ix) {
+      const double dx = g.x_at(ix) - c.x;
+      const double dz = g.z_at(iz) - c.z;
+      const bool in = dx * dx + dz * dz < c.radius * c.radius;
+      float v = in ? inside : outside;
+      if (rng != nullptr && jitter > 0.0f)
+        v *= static_cast<float>(
+            std::max(0.05, 1.0 + jitter * rng->normal()));
+      env.at(iz, ix) = v;
+    }
+  return env;
+}
+
+TEST(RoiSampling, DiscAndAnnulusCountsAreSane) {
+  const auto g = make_grid();
+  Tensor img({g.nz, g.nx}, 1.0f);
+  const auto disc = disc_samples(img, g, 0.0, 20e-3, 3e-3);
+  const auto ring = annulus_samples(img, g, 0.0, 20e-3, 3e-3, 5e-3);
+  // Areas: pi*9 vs pi*(25-9) mm^2 => ring / disc ~ 16/9.
+  EXPECT_GT(disc.size(), 50u);
+  EXPECT_NEAR(static_cast<double>(ring.size()) / disc.size(), 16.0 / 9.0, 0.3);
+  EXPECT_THROW(disc_samples(img, g, 0.0, 20e-3, -1e-3), InvalidArgument);
+  EXPECT_THROW(annulus_samples(img, g, 0.0, 20e-3, 5e-3, 3e-3),
+               InvalidArgument);
+}
+
+TEST(RoiStats, MeanAndStddev) {
+  const auto g = make_grid();
+  Tensor img({g.nz, g.nx}, 2.0f);
+  const RoiStats s = disc_stats(img, g, 0.0, 20e-3, 4e-3);
+  EXPECT_GT(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Contrast, CrMatchesConstructedRatio) {
+  // mu_out / mu_in = 10 -> CR = 20 dB exactly.
+  const auto g = make_grid();
+  const us::Cyst c{0.0, 20e-3, 4e-3};
+  const Tensor env = cyst_image(g, c, 0.1f, 1.0f);
+  const ContrastMetrics m = contrast_metrics(env, g, c);
+  EXPECT_NEAR(m.cr_db, 20.0, 0.2);
+}
+
+TEST(Contrast, GcnrOneForSeparableZeroForIdentical) {
+  const auto g = make_grid();
+  const us::Cyst c{0.0, 20e-3, 4e-3};
+  // Fully separable distributions -> GCNR ~ 1.
+  const Tensor sep = cyst_image(g, c, 0.01f, 1.0f);
+  EXPECT_GT(contrast_metrics(sep, g, c).gcnr, 0.95);
+  // Identical distributions -> GCNR ~ 0 (no cyst at all).
+  Rng rng(5);
+  const Tensor flat = cyst_image(g, c, 1.0f, 1.0f, &rng, 0.3f);
+  EXPECT_LT(contrast_metrics(flat, g, c).gcnr, 0.25);
+}
+
+TEST(Contrast, CnrGrowsWithSeparation) {
+  const auto g = make_grid();
+  const us::Cyst c{0.0, 20e-3, 4e-3};
+  Rng rng1(6), rng2(7);
+  const Tensor weak = cyst_image(g, c, 0.7f, 1.0f, &rng1, 0.2f);
+  const Tensor strong = cyst_image(g, c, 0.1f, 1.0f, &rng2, 0.2f);
+  EXPECT_GT(contrast_metrics(strong, g, c).cnr,
+            contrast_metrics(weak, g, c).cnr);
+}
+
+TEST(Contrast, GcnrSampleHelperBounds) {
+  EXPECT_THROW(gcnr_from_samples({}, {1.0f}), InvalidArgument);
+  EXPECT_THROW(gcnr_from_samples({1.0f}, {1.0f}, 1), InvalidArgument);
+  const double g = gcnr_from_samples({0.0f, 0.1f}, {5.0f, 5.1f});
+  EXPECT_NEAR(g, 1.0, 1e-9);
+  EXPECT_NEAR(gcnr_from_samples({1.0f, 1.0f}, {1.0f, 1.0f}), 0.0, 1e-9);
+}
+
+TEST(Contrast, RoiOutsideGridThrows) {
+  const auto g = make_grid();
+  const Tensor env({g.nz, g.nx}, 1.0f);
+  const us::Cyst far{0.5, 0.5, 1e-3};  // far outside the grid
+  EXPECT_THROW(contrast_metrics(env, g, far), InvalidArgument);
+}
+
+TEST(Contrast, MeanAcrossCysts) {
+  const auto g = make_grid();
+  const us::Cyst c1{-4e-3, 16e-3, 2.5e-3};
+  const us::Cyst c2{4e-3, 24e-3, 2.5e-3};
+  Tensor env({g.nz, g.nx}, 1.0f);
+  // Paint both cysts dark.
+  for (std::int64_t iz = 0; iz < g.nz; ++iz)
+    for (std::int64_t ix = 0; ix < g.nx; ++ix)
+      for (const auto& c : {c1, c2}) {
+        const double dx = g.x_at(ix) - c.x, dz = g.z_at(iz) - c.z;
+        if (dx * dx + dz * dz < c.radius * c.radius) env.at(iz, ix) = 0.1f;
+      }
+  const ContrastMetrics m = mean_contrast(env, g, {c1, c2});
+  EXPECT_NEAR(m.cr_db, 20.0, 0.5);
+  EXPECT_THROW(mean_contrast(env, g, {}), InvalidArgument);
+}
+
+TEST(Resolution, FwhmOfGaussianBlobIsExact) {
+  // A separable Gaussian with sigma_z, sigma_x has FWHM 2.355 sigma.
+  const auto g = make_grid(200, 200);
+  const double cz = 20e-3, cx = 0.0;
+  const double sz = 0.5e-3, sx = 1.0e-3;
+  Tensor env({g.nz, g.nx});
+  for (std::int64_t iz = 0; iz < g.nz; ++iz)
+    for (std::int64_t ix = 0; ix < g.nx; ++ix) {
+      const double dz = g.z_at(iz) - cz, dx = g.x_at(ix) - cx;
+      env.at(iz, ix) = static_cast<float>(
+          std::exp(-dz * dz / (2 * sz * sz) - dx * dx / (2 * sx * sx)));
+    }
+  const PsfWidths w = psf_widths(env, g, cx, cz);
+  ASSERT_TRUE(w.valid);
+  EXPECT_NEAR(w.axial_mm, 2.3548 * sz * 1e3, 0.05);
+  EXPECT_NEAR(w.lateral_mm, 2.3548 * sx * 1e3, 0.05);
+}
+
+TEST(Resolution, InvalidWhenNoPeak) {
+  const auto g = make_grid();
+  const Tensor env({g.nz, g.nx});  // all zeros
+  const PsfWidths w = psf_widths(env, g, 0.0, 20e-3);
+  EXPECT_FALSE(w.valid);
+}
+
+TEST(Resolution, InvalidWhenCrossingsMissing) {
+  // A plateau image never crosses half maximum inside the frame.
+  const auto g = make_grid();
+  const Tensor env({g.nz, g.nx}, 1.0f);
+  const PsfWidths w = psf_widths(env, g, 0.0, 20e-3);
+  EXPECT_FALSE(w.valid);
+}
+
+TEST(Resolution, MeanSkipsInvalidPoints) {
+  const auto g = make_grid(200, 200);
+  Tensor env({g.nz, g.nx});
+  // One measurable blob at (0, 20mm).
+  for (std::int64_t iz = 0; iz < g.nz; ++iz)
+    for (std::int64_t ix = 0; ix < g.nx; ++ix) {
+      const double dz = g.z_at(iz) - 20e-3, dx = g.x_at(ix);
+      env.at(iz, ix) = static_cast<float>(
+          std::exp(-(dz * dz + dx * dx) / (2 * 0.6e-3 * 0.6e-3)));
+    }
+  const std::vector<us::Scatterer> pts{{0.0, 20e-3, 1.0},
+                                       {8e-3, 28e-3, 1.0}};  // second: no blob
+  const PsfWidths w = mean_psf_widths(env, g, pts);
+  EXPECT_TRUE(w.valid);
+  EXPECT_NEAR(w.axial_mm, 2.3548 * 0.6, 0.1);
+  // All-invalid input throws.
+  const Tensor zeros({g.nz, g.nx});
+  EXPECT_THROW(mean_psf_widths(zeros, g, pts), InvalidArgument);
+  EXPECT_THROW(mean_psf_widths(env, g, {}), InvalidArgument);
+}
+
+TEST(Profiles, LateralProfileNormalizedPeakOne) {
+  const auto g = make_grid();
+  Rng rng(8);
+  Tensor env({g.nz, g.nx});
+  for (auto& v : env.data())
+    v = static_cast<float>(std::fabs(rng.normal()) + 0.01);
+  const auto prof = lateral_profile(env, g, 20e-3);
+  ASSERT_EQ(prof.size(), static_cast<std::size_t>(g.nx));
+  float peak = 0.0f;
+  for (float v : prof) peak = std::max(peak, v);
+  EXPECT_FLOAT_EQ(peak, 1.0f);
+}
+
+TEST(Profiles, DbProfileReferencesImagePeak) {
+  const auto g = make_grid();
+  Tensor env({g.nz, g.nx}, 0.1f);
+  env.at(g.row_of(20e-3), 50) = 1.0f;  // global peak on the profile row
+  const auto prof = lateral_profile_db(env, g, 20e-3, 60.0);
+  EXPECT_NEAR(prof[50], 0.0, 1e-4);
+  EXPECT_NEAR(prof[10], -20.0, 0.1);
+}
+
+TEST(Bmode, EnvelopeAndCompression) {
+  Tensor iq({1, 2, 2}, std::vector<float>{3, 4, 0.5f, 0});
+  const Tensor env = envelope_of_iq(iq);
+  EXPECT_FLOAT_EQ(env.at(0, 0), 5.0f);
+  const Tensor db = bmode_db(env, 40.0);
+  EXPECT_FLOAT_EQ(db.at(0, 0), 0.0f);
+  EXPECT_NEAR(db.at(0, 1), -20.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace tvbf::metrics

@@ -1,0 +1,156 @@
+// Tests for the layer modules: shapes, parameter bookkeeping, attention
+// structure and end-to-end gradient flow.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/modules.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace tvbf::nn {
+namespace {
+
+Tensor random_tensor(Shape shape, Rng& rng, double sigma = 1.0) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data()) v = static_cast<float>(rng.normal(0.0, sigma));
+  return t;
+}
+
+TEST(Dense, ShapesAndParameterCount) {
+  Rng rng(1);
+  const Dense d(8, 3, rng);
+  EXPECT_EQ(d.num_parameters(), 8 * 3 + 3);
+  const Variable y2 = d.forward(constant(random_tensor({5, 8}, rng)));
+  EXPECT_EQ(y2.shape(), (Shape{5, 3}));
+  const Variable y3 = d.forward(constant(random_tensor({2, 5, 8}, rng)));
+  EXPECT_EQ(y3.shape(), (Shape{2, 5, 3}));
+  EXPECT_THROW(d.forward(constant(Tensor({5, 4}))), InvalidArgument);
+  EXPECT_THROW(Dense(0, 3, rng), InvalidArgument);
+}
+
+TEST(Dense, GlorotInitBounded) {
+  Rng rng(2);
+  const Dense d(100, 100, rng);
+  const double limit = std::sqrt(6.0 / 200.0);
+  for (float v : d.weight().value().data()) {
+    EXPECT_GE(v, -limit - 1e-6);
+    EXPECT_LE(v, limit + 1e-6);
+  }
+  for (float v : d.bias().value().data()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(LayerNormModule, ParametersAndForward) {
+  Rng rng(3);
+  LayerNorm ln(6);
+  EXPECT_EQ(ln.num_parameters(), 12);
+  const Variable y = ln.forward(constant(random_tensor({4, 6}, rng, 5.0)));
+  EXPECT_EQ(y.shape(), (Shape{4, 6}));
+  // Default gamma=1, beta=0 -> rows have near-zero mean.
+  for (std::int64_t r = 0; r < 4; ++r) {
+    double mu = 0.0;
+    for (std::int64_t j = 0; j < 6; ++j) mu += y.value().at(r, j);
+    EXPECT_NEAR(mu / 6.0, 0.0, 1e-4);
+  }
+  EXPECT_THROW(LayerNorm(0), InvalidArgument);
+}
+
+TEST(Mha, ShapeAndHeadSplit) {
+  Rng rng(4);
+  const MultiHeadAttention mha(12, 3, rng);
+  EXPECT_EQ(mha.head_dim(), 4);
+  const Variable y = mha.forward(constant(random_tensor({2, 7, 12}, rng)));
+  EXPECT_EQ(y.shape(), (Shape{2, 7, 12}));
+  EXPECT_THROW(MultiHeadAttention(10, 3, rng), InvalidArgument);
+  EXPECT_THROW(mha.forward(constant(Tensor({7, 12}))), InvalidArgument);
+}
+
+TEST(Mha, ParameterCountIsFourProjections) {
+  Rng rng(5);
+  const MultiHeadAttention mha(8, 2, rng);
+  EXPECT_EQ(mha.num_parameters(), 4 * (8 * 8 + 8));
+}
+
+TEST(Mha, AttendsToMatchingKey) {
+  // Build an input where patch 0's query matches patch 2's key direction;
+  // with identity-like projections this is hard to force exactly, so we
+  // check the structural property instead: output depends on *other*
+  // patches (global receptive field), unlike a pointwise layer.
+  Rng rng(6);
+  const MultiHeadAttention mha(8, 2, rng);
+  Tensor x = random_tensor({1, 5, 8}, rng);
+  const Tensor y0 = mha.forward(constant(x)).value();
+  // Perturb a different patch than the one we read out.
+  Tensor x2 = x;
+  for (std::int64_t j = 0; j < 8; ++j) x2.at(0, 4, j) += 2.0f;
+  const Tensor y1 = mha.forward(constant(x2)).value();
+  double diff_patch0 = 0.0;
+  for (std::int64_t j = 0; j < 8; ++j)
+    diff_patch0 += std::fabs(y1.at(0, 0, j) - y0.at(0, 0, j));
+  EXPECT_GT(diff_patch0, 1e-4);  // patch 0 sees patch 4 through attention
+}
+
+TEST(TransformerBlockModule, ShapePreservingAndResidual) {
+  Rng rng(7);
+  const TransformerBlock blk(8, 2, 16, rng);
+  Tensor x = random_tensor({3, 6, 8}, rng);
+  const Variable y = blk.forward(constant(x));
+  EXPECT_EQ(y.shape(), (Shape{3, 6, 8}));
+  // Residual path: output correlates strongly with input at init (layers
+  // are small random perturbations around the skip connection).
+  double dot = 0.0, nx = 0.0, ny = 0.0;
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    dot += static_cast<double>(x.flat(i)) * y.value().flat(i);
+    nx += static_cast<double>(x.flat(i)) * x.flat(i);
+    ny += static_cast<double>(y.value().flat(i)) * y.value().flat(i);
+  }
+  EXPECT_GT(dot / std::sqrt(nx * ny), 0.5);
+}
+
+TEST(TransformerBlockModule, ParameterAggregation) {
+  Rng rng(8);
+  const TransformerBlock blk(8, 2, 16, rng);
+  const std::int64_t expected = 2 * (2 * 8)          // two layer norms
+                                + 4 * (8 * 8 + 8)    // attention projections
+                                + (8 * 16 + 16)      // fc1
+                                + (16 * 8 + 8);      // fc2
+  EXPECT_EQ(blk.num_parameters(), expected);
+}
+
+TEST(Conv2DModule, ShapeAndRelu) {
+  Rng rng(9);
+  const Conv2D conv(3, 3, 2, 4, rng, /*relu_activation=*/true);
+  const Variable y = conv.forward(constant(random_tensor({5, 6, 2}, rng)));
+  EXPECT_EQ(y.shape(), (Shape{5, 6, 4}));
+  for (float v : y.value().data()) EXPECT_GE(v, 0.0f);
+  const Conv2D lin(3, 3, 2, 4, rng, /*relu_activation=*/false);
+  const Variable y2 = lin.forward(constant(random_tensor({5, 6, 2}, rng)));
+  EXPECT_LT(min_value(y2.value()), 0.0f);  // linear output goes negative
+}
+
+TEST(Conv2DModule, RejectsEvenKernel) {
+  Rng rng(10);
+  EXPECT_THROW(Conv2D(2, 3, 1, 1, rng), InvalidArgument);
+  EXPECT_THROW(Conv2D(3, 3, 0, 1, rng), InvalidArgument);
+}
+
+TEST(Modules, GradientFlowsThroughTransformerStack) {
+  // End-to-end: a loss at the output must produce nonzero gradients on the
+  // earliest parameters (no vanishing/blocked path through MHA + LN + MLP).
+  Rng rng(11);
+  const Dense embed(4, 8, rng);
+  const TransformerBlock blk(8, 2, 16, rng);
+  const Dense head(8, 1, rng);
+  const Tensor x = random_tensor({2, 5, 4}, rng);
+  Variable h = embed.forward(constant(x));
+  h = blk.forward(h);
+  h = head.forward(h);
+  Variable loss = mean_all(mul(h, h));
+  loss.backward();
+  float embed_grad = 0.0f;
+  for (float v : embed.weight().grad().data()) embed_grad += std::fabs(v);
+  EXPECT_GT(embed_grad, 0.0f);
+}
+
+}  // namespace
+}  // namespace tvbf::nn

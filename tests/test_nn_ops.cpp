@@ -1,0 +1,285 @@
+// Autodiff correctness: every differentiable op is verified against central
+// finite differences, plus forward-value unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "nn/ops.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace tvbf::nn {
+namespace {
+
+Tensor random_tensor(Shape shape, Rng& rng, double sigma = 1.0) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data()) v = static_cast<float>(rng.normal(0.0, sigma));
+  return t;
+}
+
+/// Checks d(scalar_fn)/d(inputs[i]) against central differences for every
+/// input marked trainable. scalar_fn must rebuild the graph on each call
+/// from the current input values.
+void check_gradients(std::vector<Variable>& inputs,
+                     const std::function<Variable()>& scalar_fn,
+                     float eps = 1e-3f, float tol = 2e-2f) {
+  Variable loss = scalar_fn();
+  loss.backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(inputs.size());
+  for (auto& in : inputs) analytic.push_back(in.grad());
+
+  for (std::size_t vi = 0; vi < inputs.size(); ++vi) {
+    Tensor& val = inputs[vi].mutable_value();
+    for (std::int64_t i = 0; i < val.size(); ++i) {
+      const float orig = val.flat(i);
+      val.flat(i) = orig + eps;
+      const float up = scalar_fn().value().flat(0);
+      val.flat(i) = orig - eps;
+      const float down = scalar_fn().value().flat(0);
+      val.flat(i) = orig;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float a = analytic[vi].flat(i);
+      const float denom = std::max({1.0f, std::fabs(numeric), std::fabs(a)});
+      EXPECT_NEAR(a / denom, numeric / denom, tol)
+          << "input " << vi << " element " << i;
+    }
+  }
+}
+
+TEST(Autodiff, BackwardRequiresScalar) {
+  Variable v(Tensor({2, 2}, 1.0f), true);
+  EXPECT_THROW(v.backward(), InvalidArgument);
+}
+
+TEST(Autodiff, LeafProperties) {
+  Variable c = constant(Tensor({2}, 3.0f));
+  Variable p = parameter(Tensor({2}, 3.0f));
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_TRUE(p.requires_grad());
+  Variable undefined;
+  EXPECT_FALSE(undefined.defined());
+  EXPECT_THROW(undefined.value(), InvalidArgument);
+}
+
+TEST(Autodiff, AddSubMulGradients) {
+  Rng rng(1);
+  std::vector<Variable> in{parameter(random_tensor({3, 4}, rng)),
+                           parameter(random_tensor({3, 4}, rng))};
+  check_gradients(in, [&] {
+    return mean_all(mul(add(in[0], in[1]), sub(in[0], in[1])));
+  });
+}
+
+TEST(Autodiff, ScaleAndBiasGradients) {
+  Rng rng(2);
+  std::vector<Variable> in{parameter(random_tensor({2, 5}, rng)),
+                           parameter(random_tensor({5}, rng))};
+  check_gradients(in, [&] {
+    return mean_all(scale(add_bias(in[0], in[1]), 1.7f));
+  });
+}
+
+TEST(Autodiff, ReluGradient) {
+  Rng rng(3);
+  std::vector<Variable> in{parameter(random_tensor({4, 4}, rng))};
+  // Keep values away from the kink for a stable finite difference.
+  for (auto& v : in[0].mutable_value().data())
+    if (std::fabs(v) < 0.05f) v = 0.3f;
+  check_gradients(in, [&] { return mean_all(relu(in[0])); });
+}
+
+TEST(Autodiff, TanhGradient) {
+  Rng rng(4);
+  std::vector<Variable> in{parameter(random_tensor({3, 3}, rng, 0.5))};
+  check_gradients(in, [&] { return mean_all(tanh_v(in[0])); });
+}
+
+TEST(Autodiff, MatmulGradients) {
+  Rng rng(5);
+  std::vector<Variable> in{parameter(random_tensor({3, 4}, rng)),
+                           parameter(random_tensor({4, 2}, rng))};
+  check_gradients(in, [&] { return mean_all(matmul(in[0], in[1])); });
+}
+
+TEST(Autodiff, BatchedMatmulBroadcastGradients) {
+  Rng rng(6);
+  std::vector<Variable> in{parameter(random_tensor({2, 3, 4}, rng)),
+                           parameter(random_tensor({4, 3}, rng))};
+  check_gradients(in, [&] { return mean_all(batched_matmul(in[0], in[1])); });
+}
+
+TEST(Autodiff, BatchedMatmulFullGradients) {
+  Rng rng(7);
+  std::vector<Variable> in{parameter(random_tensor({2, 3, 4}, rng)),
+                           parameter(random_tensor({2, 4, 2}, rng))};
+  check_gradients(in, [&] { return mean_all(batched_matmul(in[0], in[1])); });
+}
+
+TEST(Autodiff, ReshapeTransposeGradients) {
+  Rng rng(8);
+  std::vector<Variable> in{parameter(random_tensor({2, 3, 4}, rng))};
+  check_gradients(in, [&] {
+    return mean_all(mul(transpose_last2(in[0]),
+                        reshape(in[0], {2, 4, 3})));
+  });
+}
+
+TEST(Autodiff, SliceConcatGradients) {
+  Rng rng(9);
+  std::vector<Variable> in{parameter(random_tensor({3, 6}, rng))};
+  check_gradients(in, [&] {
+    const Variable a = slice_last(in[0], 0, 2);
+    const Variable b = slice_last(in[0], 2, 6);
+    return mean_all(mul(concat_last(b, a), in[0]));
+  });
+}
+
+TEST(Autodiff, SoftmaxGradient) {
+  Rng rng(10);
+  std::vector<Variable> in{parameter(random_tensor({3, 5}, rng))};
+  std::vector<Variable> weights{constant(random_tensor({3, 5}, rng))};
+  check_gradients(in, [&] {
+    return mean_all(mul(softmax_last(in[0]), weights[0]));
+  });
+}
+
+TEST(Autodiff, SoftmaxRowsSumToOne) {
+  Rng rng(11);
+  const Variable y = softmax_last(constant(random_tensor({4, 7}, rng, 3.0)));
+  for (std::int64_t r = 0; r < 4; ++r) {
+    double s = 0.0;
+    for (std::int64_t j = 0; j < 7; ++j) s += y.value().at(r, j);
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Autodiff, SoftmaxIsStableForLargeInputs) {
+  Tensor big({1, 3}, std::vector<float>{1000.0f, 1001.0f, 999.0f});
+  const Variable y = softmax_last(constant(big));
+  EXPECT_TRUE(std::isfinite(y.value().at(0, 0)));
+  EXPECT_GT(y.value().at(0, 1), y.value().at(0, 0));
+}
+
+TEST(Autodiff, LayerNormGradients) {
+  Rng rng(12);
+  std::vector<Variable> in{parameter(random_tensor({4, 6}, rng)),
+                           parameter(random_tensor({6}, rng, 0.5)),
+                           parameter(random_tensor({6}, rng, 0.5))};
+  std::vector<Variable> w{constant(random_tensor({4, 6}, rng))};
+  check_gradients(
+      in,
+      [&] { return mean_all(mul(layer_norm(in[0], in[1], in[2]), w[0])); },
+      /*eps=*/1e-2f, /*tol=*/3e-2f);
+}
+
+TEST(Autodiff, LayerNormNormalizesRows) {
+  Rng rng(13);
+  const Variable gamma = constant(Tensor::ones({8}));
+  const Variable beta = constant(Tensor({8}));
+  const Variable y =
+      layer_norm(constant(random_tensor({5, 8}, rng, 4.0)), gamma, beta);
+  for (std::int64_t r = 0; r < 5; ++r) {
+    double mu = 0.0, var = 0.0;
+    for (std::int64_t j = 0; j < 8; ++j) mu += y.value().at(r, j);
+    mu /= 8.0;
+    for (std::int64_t j = 0; j < 8; ++j) {
+      const double d = y.value().at(r, j) - mu;
+      var += d * d;
+    }
+    var /= 8.0;
+    EXPECT_NEAR(mu, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 2e-2);
+  }
+}
+
+TEST(Autodiff, Conv2dGradients) {
+  Rng rng(14);
+  std::vector<Variable> in{parameter(random_tensor({4, 5, 2}, rng)),
+                           parameter(random_tensor({3, 3, 2, 3}, rng, 0.5)),
+                           parameter(random_tensor({3}, rng, 0.5))};
+  check_gradients(
+      in, [&] { return mean_all(conv2d_same(in[0], in[1], in[2])); },
+      /*eps=*/1e-2f, /*tol=*/3e-2f);
+}
+
+TEST(Autodiff, Conv2dIdentityKernel) {
+  // A 1x1 identity kernel must reproduce the input.
+  Rng rng(15);
+  const Tensor x = random_tensor({3, 4, 2}, rng);
+  Tensor k({1, 1, 2, 2});
+  k.at(0, 0, 0, 0) = 1.0f;
+  k.at(0, 0, 1, 1) = 1.0f;
+  const Variable y =
+      conv2d_same(constant(x), constant(k), constant(Tensor({2})));
+  EXPECT_TRUE(allclose(y.value(), x));
+}
+
+TEST(Autodiff, Conv2dShapeChecks) {
+  Rng rng(16);
+  const Variable x = constant(random_tensor({3, 3, 2}, rng));
+  EXPECT_THROW(conv2d_same(x, constant(Tensor({2, 2, 2, 1})),
+                           constant(Tensor({1}))),
+               InvalidArgument);  // even kernel
+  EXPECT_THROW(conv2d_same(x, constant(Tensor({3, 3, 4, 1})),
+                           constant(Tensor({1}))),
+               InvalidArgument);  // Cin mismatch
+  EXPECT_THROW(conv2d_same(x, constant(Tensor({3, 3, 2, 1})),
+                           constant(Tensor({2}))),
+               InvalidArgument);  // bias length
+}
+
+TEST(Autodiff, SumLastGradients) {
+  Rng rng(17);
+  std::vector<Variable> in{parameter(random_tensor({3, 4, 5}, rng))};
+  check_gradients(in, [&] { return mean_all(sum_last(in[0])); });
+}
+
+TEST(Autodiff, SumLastForward) {
+  Tensor x({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  const Variable y = sum_last(constant(x));
+  ASSERT_EQ(y.value().shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(y.value().at(0), 6.0f);
+  EXPECT_FLOAT_EQ(y.value().at(1), 15.0f);
+}
+
+TEST(Autodiff, MseLossGradientsAndValue) {
+  Rng rng(18);
+  const Tensor target = random_tensor({3, 4}, rng);
+  std::vector<Variable> in{parameter(random_tensor({3, 4}, rng))};
+  check_gradients(in, [&] { return mse_loss(in[0], target); });
+  const Variable zero_loss = mse_loss(constant(target), target);
+  EXPECT_FLOAT_EQ(zero_loss.value().flat(0), 0.0f);
+  EXPECT_THROW(mse_loss(in[0], Tensor({2, 2})), InvalidArgument);
+}
+
+TEST(Autodiff, GradientAccumulatesThroughSharedNodes) {
+  // y = x * x uses x twice; dy/dx = 2x must accumulate from both paths.
+  Variable x = parameter(Tensor({1}, std::vector<float>{3.0f}));
+  Variable loss = mean_all(mul(x, x));
+  loss.backward();
+  EXPECT_NEAR(x.grad().flat(0), 6.0f, 1e-5);
+}
+
+TEST(Autodiff, ZeroGradResets) {
+  Variable x = parameter(Tensor({1}, std::vector<float>{2.0f}));
+  Variable loss = mean_all(mul(x, x));
+  loss.backward();
+  EXPECT_NE(x.grad().flat(0), 0.0f);
+  x.zero_grad();
+  EXPECT_FLOAT_EQ(x.grad().flat(0), 0.0f);
+}
+
+TEST(Autodiff, DeepChainGradient) {
+  // Long chains must not diverge: d/dx of (((x*1.01)*1.01)*...) is 1.01^n.
+  Variable x = parameter(Tensor({1}, std::vector<float>{1.0f}));
+  Variable y = x;
+  for (int i = 0; i < 50; ++i) y = scale(y, 1.01f);
+  Variable loss = mean_all(y);
+  loss.backward();
+  EXPECT_NEAR(x.grad().flat(0), std::pow(1.01f, 50), 1e-3);
+}
+
+}  // namespace
+}  // namespace tvbf::nn

@@ -1,0 +1,167 @@
+// Property sweeps across acquisition configurations: the simulate -> ToF ->
+// DAS chain must localize targets correctly for any steering angle, probe
+// width and target position — the geometric core every experiment rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "beamform/das.hpp"
+#include "dsp/hilbert.hpp"
+#include "metrics/resolution.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "us/tof.hpp"
+
+namespace tvbf {
+namespace {
+
+struct Located {
+  double z;
+  double x;
+  float peak;
+};
+
+/// Runs the full chain on a single point target and returns the B-mode peak
+/// location in meters.
+Located locate_point(std::int64_t channels, double angle_rad, double px,
+                     double pz) {
+  const us::Probe probe = us::Probe::test_probe(channels);
+  const us::ImagingGrid grid =
+      us::ImagingGrid::reduced(probe, 128, 64, 10e-3, 30e-3);
+  us::SimParams sim = us::SimParams::in_silico();
+  sim.add_noise = false;
+  sim.max_depth = 34e-3;
+  us::Region region{grid.x0 * 1.5, grid.x_end() * 1.5, grid.z0, grid.z_end()};
+  const us::Phantom ph = us::make_single_point(pz, px, region);
+  const us::Acquisition acq = us::simulate_plane_wave(probe, ph, angle_rad, sim);
+  const us::TofCube cube = us::tof_correct(acq, grid, {});
+  const bf::DasBeamformer das(probe);
+  const Tensor env = dsp::envelope_iq(das.beamform(cube));
+  std::int64_t best = 0;
+  for (std::int64_t p = 1; p < env.size(); ++p)
+    if (env.flat(p) > env.flat(best)) best = p;
+  return {grid.z_at(best / grid.nx), grid.x_at(best % grid.nx),
+          env.flat(best)};
+}
+
+class SteeringSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SteeringSweep, PointLocalizedUnderSteering) {
+  // ToF correction must compensate the transmit steering exactly: the peak
+  // stays at the true target position for every angle.
+  const double angle = GetParam();
+  const Located loc = locate_point(32, angle, 2e-3, 20e-3);
+  EXPECT_NEAR(loc.z, 20e-3, 0.5e-3) << "angle " << angle;
+  EXPECT_NEAR(loc.x, 2e-3, 0.6e-3) << "angle " << angle;
+  EXPECT_GT(loc.peak, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, SteeringSweep,
+                         ::testing::Values(-0.15, -0.05, 0.0, 0.05, 0.15));
+
+class ProbeSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, double>> {};
+
+TEST_P(ProbeSweep, PointLocalizedAcrossProbesAndPositions) {
+  // Lateral offsets are scaled to the aperture: targets near the aperture
+  // edge of a small probe have asymmetric PSFs whose peak biases inward.
+  const auto [channels, frac] = GetParam();
+  const us::Probe probe = us::Probe::test_probe(channels);
+  const double x = frac * probe.aperture() / 2.0;
+  const Located loc = locate_point(channels, 0.0, x, 18e-3);
+  EXPECT_NEAR(loc.z, 18e-3, 0.5e-3);
+  EXPECT_NEAR(loc.x, x, 0.6e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ProbeSweep,
+    ::testing::Combine(::testing::Values<std::int64_t>(16, 32, 64),
+                       ::testing::Values(-0.5, 0.0, 0.5)));
+
+TEST(PipelineProperties, DeeperTargetsArriveLater) {
+  // Axial monotonicity: image depth tracks true depth across the grid.
+  double prev_z = 0.0;
+  for (double z : {14e-3, 18e-3, 22e-3, 26e-3}) {
+    const Located loc = locate_point(32, 0.0, 0.0, z);
+    EXPECT_GT(loc.z, prev_z);
+    EXPECT_NEAR(loc.z, z, 0.5e-3);
+    prev_z = loc.z;
+  }
+}
+
+TEST(PipelineProperties, PsfWidthGrowsOffAxisOnlyMildly) {
+  // Lateral FWHM should be comparable on-axis and a few mm off-axis (the
+  // dynamic aperture keeps the f-number constant).
+  const us::Probe probe = us::Probe::test_probe(32);
+  const us::ImagingGrid grid =
+      us::ImagingGrid::reduced(probe, 128, 64, 10e-3, 30e-3);
+  us::SimParams sim = us::SimParams::in_silico();
+  sim.add_noise = false;
+  sim.max_depth = 34e-3;
+  us::Region region{grid.x0, grid.x_end(), grid.z0, grid.z_end()};
+  const bf::DasBeamformer das(probe);
+  auto width_at = [&](double x) {
+    const us::Phantom ph = us::make_single_point(20e-3, x, region);
+    const us::Acquisition acq = us::simulate_plane_wave(probe, ph, 0.0, sim);
+    const Tensor env =
+        dsp::envelope_iq(das.beamform(us::tof_correct(acq, grid, {})));
+    const auto w = metrics::psf_widths(env, grid, x, 20e-3, 2.0);
+    EXPECT_TRUE(w.valid);
+    return w.lateral_mm;
+  };
+  const double on_axis = width_at(0.0);
+  const double off_axis = width_at(3e-3);
+  EXPECT_LT(off_axis, on_axis * 1.6);
+}
+
+TEST(PipelineProperties, NoiseFloorScalesWithSnr) {
+  // Lowering the SNR must raise the background level of the B-mode image.
+  const us::Probe probe = us::Probe::test_probe(16);
+  const us::ImagingGrid grid =
+      us::ImagingGrid::reduced(probe, 96, 32, 10e-3, 30e-3);
+  us::Region region{grid.x0, grid.x_end(), grid.z0, grid.z_end()};
+  const us::Phantom ph = us::make_single_point(20e-3, 0.0, region);
+  const bf::DasBeamformer das(probe);
+  auto background_db = [&](double snr) {
+    us::SimParams sim = us::SimParams::in_silico();
+    sim.max_depth = 34e-3;
+    sim.snr_db = snr;
+    const us::Acquisition acq = us::simulate_plane_wave(probe, ph, 0.0, sim);
+    const Tensor env =
+        dsp::envelope_iq(das.beamform(us::tof_correct(acq, grid, {})));
+    const Tensor db = dsp::log_compress(env, 80.0);
+    // Mean level far from the target (top-left corner block).
+    double acc = 0.0;
+    std::int64_t n = 0;
+    for (std::int64_t iz = 0; iz < 20; ++iz)
+      for (std::int64_t ix = 0; ix < 8; ++ix) {
+        acc += db.at(iz, ix);
+        ++n;
+      }
+    return acc / static_cast<double>(n);
+  };
+  EXPECT_GT(background_db(20.0), background_db(50.0) + 5.0);
+}
+
+TEST(PipelineProperties, ChannelGainSpreadPreservesLocalization) {
+  // Element sensitivity variation (in-vitro preset) must not move the peak.
+  const us::Probe probe = us::Probe::test_probe(32);
+  const us::ImagingGrid grid =
+      us::ImagingGrid::reduced(probe, 128, 64, 10e-3, 30e-3);
+  us::Region region{grid.x0, grid.x_end(), grid.z0, grid.z_end()};
+  const us::Phantom ph = us::make_single_point(20e-3, 0.0, region);
+  us::SimParams sim = us::SimParams::in_vitro();
+  sim.max_depth = 34e-3;
+  const us::Acquisition acq = us::simulate_plane_wave(probe, ph, 0.0, sim);
+  const bf::DasBeamformer das(probe);
+  const Tensor env =
+      dsp::envelope_iq(das.beamform(us::tof_correct(acq, grid, {})));
+  std::int64_t best = 0;
+  for (std::int64_t p = 1; p < env.size(); ++p)
+    if (env.flat(p) > env.flat(best)) best = p;
+  EXPECT_NEAR(grid.z_at(best / grid.nx), 20e-3, 0.7e-3);
+  EXPECT_NEAR(grid.x_at(best % grid.nx), 0.0, 0.7e-3);
+}
+
+}  // namespace
+}  // namespace tvbf

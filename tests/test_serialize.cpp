@@ -1,0 +1,93 @@
+// Weight serialization round-trip and corruption handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.hpp"
+#include "nn/modules.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace tvbf::nn {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/tvbf_weights_test.bin";
+};
+
+TEST_F(SerializeTest, RoundTripRestoresValues) {
+  Rng rng(1);
+  const Dense d1(6, 4, rng);
+  auto params = d1.parameters();
+  save_parameters(params, path_);
+
+  Rng rng2(99);  // different init
+  const Dense d2(6, 4, rng2);
+  auto params2 = d2.parameters();
+  ASSERT_FALSE(allclose(params2[0].value(), params[0].value()));
+  load_parameters(params2, path_);
+  EXPECT_TRUE(allclose(params2[0].value(), params[0].value(), 0.0f, 0.0f));
+  EXPECT_TRUE(allclose(params2[1].value(), params[1].value(), 0.0f, 0.0f));
+}
+
+TEST_F(SerializeTest, CountMismatchThrows) {
+  Rng rng(2);
+  const Dense d(3, 3, rng);
+  auto params = d.parameters();
+  save_parameters(params, path_);
+  std::vector<Variable> fewer{params[0]};
+  EXPECT_THROW(load_parameters(fewer, path_), InvalidArgument);
+}
+
+TEST_F(SerializeTest, ShapeMismatchThrows) {
+  Rng rng(3);
+  const Dense d(3, 3, rng);
+  auto params = d.parameters();
+  save_parameters(params, path_);
+  const Dense other(4, 3, rng);
+  auto params2 = other.parameters();
+  EXPECT_THROW(load_parameters(params2, path_), InvalidArgument);
+}
+
+TEST_F(SerializeTest, RejectsGarbageFile) {
+  std::ofstream os(path_, std::ios::binary);
+  os << "not a weight file";
+  os.close();
+  Rng rng(4);
+  const Dense d(2, 2, rng);
+  auto params = d.parameters();
+  EXPECT_THROW(load_parameters(params, path_), InvalidArgument);
+}
+
+TEST_F(SerializeTest, RejectsTruncatedFile) {
+  Rng rng(5);
+  const Dense d(8, 8, rng);
+  auto params = d.parameters();
+  save_parameters(params, path_);
+  // Truncate the payload.
+  std::ifstream is(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(is)),
+                       std::istreambuf_iterator<char>());
+  is.close();
+  std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+  os.write(contents.data(),
+           static_cast<std::streamsize>(contents.size() / 2));
+  os.close();
+  EXPECT_THROW(load_parameters(params, path_), InvalidArgument);
+}
+
+TEST_F(SerializeTest, MissingFileThrows) {
+  Rng rng(6);
+  const Dense d(2, 2, rng);
+  auto params = d.parameters();
+  EXPECT_THROW(load_parameters(params, "/nonexistent/dir/w.bin"),
+               InvalidArgument);
+  EXPECT_THROW(save_parameters(params, "/nonexistent/dir/w.bin"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tvbf::nn
