@@ -20,9 +20,11 @@ Tensor DasBeamformer::beamform(const us::TofCube& cube) const {
   const Apodization apod(probe_, apod_params_);
   const bool analytic = cube.is_analytic();
 
-  // Apodized sum across channels -> (nz, nx) real (RF) or complex (IQ).
-  Tensor sum_re({nz, nx});
-  Tensor sum_im = analytic ? Tensor({nz, nx}) : Tensor();
+  // Apodized sum across channels. Analytic input sums straight into the
+  // interleaved (nz, nx, 2) IQ image; RF input sums into a scratch plane
+  // that the per-column Hilbert pass below consumes.
+  Tensor iq({nz, nx, 2});
+  Tensor sum_re = analytic ? Tensor() : Tensor({nz, nx});
   parallel_for_each(0, static_cast<std::size_t>(nz), [&](std::size_t zi) {
     const auto iz = static_cast<std::int64_t>(zi);
     const double z = cube.grid.z_at(iz);
@@ -33,24 +35,20 @@ Tensor DasBeamformer::beamform(const us::TofCube& cube) const {
       double acc_re = 0.0;
       for (std::int64_t e = 0; e < nch; ++e)
         acc_re += static_cast<double>(w[static_cast<std::size_t>(e)]) * re[e];
-      sum_re.raw()[iz * nx + ix] = static_cast<float>(acc_re);
       if (analytic) {
         const float* im = cube.imag.raw() + (iz * nx + ix) * nch;
         double acc_im = 0.0;
         for (std::int64_t e = 0; e < nch; ++e)
           acc_im += static_cast<double>(w[static_cast<std::size_t>(e)]) * im[e];
-        sum_im.raw()[iz * nx + ix] = static_cast<float>(acc_im);
+        iq.raw()[(iz * nx + ix) * 2] = static_cast<float>(acc_re);
+        iq.raw()[(iz * nx + ix) * 2 + 1] = static_cast<float>(acc_im);
+      } else {
+        sum_re.raw()[iz * nx + ix] = static_cast<float>(acc_re);
       }
     }
-  }, /*min_grain=*/1);
+  }, /*min_grain=*/4);
 
-  Tensor iq({nz, nx, 2});
-  if (analytic) {
-    for (std::int64_t p = 0; p < nz * nx; ++p) {
-      iq.raw()[2 * p] = sum_re.raw()[p];
-      iq.raw()[2 * p + 1] = sum_im.raw()[p];
-    }
-  } else {
+  if (!analytic) {
     // Beamformed RF -> analytic signal per image column (paper: "processed
     // with the Hilbert Transform to obtain the final B-mode image").
     parallel_for_each(0, static_cast<std::size_t>(nx), [&](std::size_t xi) {
@@ -66,7 +64,7 @@ Tensor DasBeamformer::beamform(const us::TofCube& cube) const {
         iq.raw()[(z * nx + static_cast<std::int64_t>(xi)) * 2 + 1] =
             static_cast<float>(v.imag());
       }
-    }, /*min_grain=*/1);
+    }, /*min_grain=*/8);
   }
   return iq;
 }

@@ -145,7 +145,7 @@ INSTANTIATE_TEST_SUITE_P(Pool, ThreadCountTest,
 TEST(Timer, MeasuresElapsedTime) {
   Timer t;
   volatile double x = 0.0;
-  for (int i = 0; i < 100000; ++i) x += std::sin(i);
+  for (int i = 0; i < 100000; ++i) x = x + std::sin(i);
   EXPECT_GE(t.seconds(), 0.0);
   const double before = t.seconds();
   t.reset();
