@@ -6,6 +6,8 @@
 #include "common/rng.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/hilbert.hpp"
+#include "kernels/conv.hpp"
+#include "kernels/gemm.hpp"
 #include "nn/modules.hpp"
 #include "quant/fixed_point.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -51,6 +53,75 @@ void BM_Matmul(benchmark::State& state) {
       benchmark::Counter::kIs1000);
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+// ---- blocked kernels vs the preserved reference implementations ----------
+// Single-threaded by construction: the serial `_rows` entry points are
+// invoked directly, so new-vs-reference is a pure kernel comparison with no
+// pool scheduling in either lane.
+
+void BM_GemmBlockedSingle(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(30);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  for (auto& v : a.data()) v = static_cast<float>(rng.normal());
+  for (auto& v : b.data()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    kernels::gemm_rows(a.raw(), b.raw(), c.raw(), n, n, n, 0, n);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.counters["GFLOPs"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n, benchmark::Counter::kIsRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmBlockedSingle)->Arg(128)->Arg(256);
+
+void BM_GemmReferenceSingle(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(30);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  for (auto& v : a.data()) v = static_cast<float>(rng.normal());
+  for (auto& v : b.data()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    kernels::gemm_reference_rows(a.raw(), b.raw(), c.raw(), n, n, n, 0, n);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.counters["GFLOPs"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n, benchmark::Counter::kIsRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmReferenceSingle)->Arg(128)->Arg(256);
+
+kernels::Conv2dShape conv_bench_shape() {
+  return {.H = 96, .W = 64, .Ci = 32, .kh = 3, .kw = 3, .Co = 8};
+}
+
+void BM_Conv2dBlockedSingle(benchmark::State& state) {
+  Rng rng(31);
+  const kernels::Conv2dShape s = conv_bench_shape();
+  Tensor x({s.H, s.W, s.Ci}), k({s.kh, s.kw, s.Ci, s.Co}),
+      out({s.H, s.W, s.Co});
+  for (auto& v : x.data()) v = static_cast<float>(rng.normal());
+  for (auto& v : k.data()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    kernels::conv2d_same_forward_rows(x.raw(), k.raw(), out.raw(), s, 0, s.H);
+    benchmark::DoNotOptimize(out.raw());
+  }
+}
+BENCHMARK(BM_Conv2dBlockedSingle)->Unit(benchmark::kMillisecond);
+
+void BM_Conv2dReferenceSingle(benchmark::State& state) {
+  Rng rng(31);
+  const kernels::Conv2dShape s = conv_bench_shape();
+  Tensor x({s.H, s.W, s.Ci}), k({s.kh, s.kw, s.Ci, s.Co}),
+      out({s.H, s.W, s.Co});
+  for (auto& v : x.data()) v = static_cast<float>(rng.normal());
+  for (auto& v : k.data()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    kernels::conv2d_same_forward_reference(x.raw(), k.raw(), out.raw(), s);
+    benchmark::DoNotOptimize(out.raw());
+  }
+}
+BENCHMARK(BM_Conv2dReferenceSingle)->Unit(benchmark::kMillisecond);
 
 void BM_Conv2dForward(benchmark::State& state) {
   Rng rng(4);

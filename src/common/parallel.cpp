@@ -13,6 +13,11 @@
 namespace tvbf {
 namespace {
 
+// parallel_for must not be re-entered from inside the pool: set on the
+// top-level calling thread for the duration of a job, and permanently on
+// worker threads.
+thread_local bool in_parallel_region = false;
+
 /// Long-lived pool: workers block on a condition variable between jobs.
 /// A "job" is a shared chunked index range claimed via an atomic cursor.
 class Pool {
@@ -22,9 +27,14 @@ class Pool {
     return pool;
   }
 
-  std::size_t thread_count() const { return threads_.size() + 1; }
+  std::size_t thread_count() const {
+    return size_.load(std::memory_order_relaxed);
+  }
 
   void resize(std::size_t n) {
+    // Taking the jobs mutex first makes resizing safe against an in-flight
+    // job: the pool is only torn down between jobs.
+    std::lock_guard jobs_lock(jobs_mutex_);
     shutdown();
     start(n);
   }
@@ -32,6 +42,11 @@ class Pool {
   void run(std::size_t begin, std::size_t end,
            const std::function<void(std::size_t, std::size_t)>& fn,
            std::size_t grain) {
+    // Serialize concurrent top-level callers: job_fn_/cursor_/pending_ are
+    // one shared job slot, so without this two non-worker threads calling
+    // parallel_for simultaneously would overwrite each other's job and
+    // silently compute garbage.
+    std::lock_guard jobs_lock(jobs_mutex_);
     {
       std::lock_guard lock(mutex_);
       job_begin_ = begin;
@@ -59,9 +74,15 @@ class Pool {
     stop_ = false;
     const std::size_t workers = n > 0 ? n - 1 : 0;
     threads_.reserve(workers);
+    // Seed each worker with the generation at spawn time (stable here:
+    // callers hold jobs_mutex_, and generation_ only advances inside run()
+    // under the same mutex). A worker starting from literal 0 after a
+    // resize would see the persisted generation as a phantom "new job",
+    // run work() against whatever job state exists, and corrupt pending_.
     for (std::size_t i = 0; i < workers; ++i) {
-      threads_.emplace_back([this] { worker_loop(); });
+      threads_.emplace_back([this, g = generation_] { worker_loop(g); });
     }
+    size_.store(workers + 1, std::memory_order_relaxed);
   }
 
   void shutdown() {
@@ -74,8 +95,11 @@ class Pool {
     threads_.clear();
   }
 
-  void worker_loop() {
-    std::uint64_t seen = 0;
+  void worker_loop(std::uint64_t seen) {
+    // Workers are pool members for life: any parallel_for reached from a
+    // job fn on this thread must degrade to serial inline execution, or it
+    // would block on jobs_mutex_ (held by the very caller waiting on us).
+    in_parallel_region = true;
     while (true) {
       {
         std::unique_lock lock(mutex_);
@@ -110,6 +134,11 @@ class Pool {
   }
 
   std::vector<std::thread> threads_;
+  /// Held for the full duration of run() and resize(): one job at a time.
+  std::mutex jobs_mutex_;
+  /// Pool size snapshot; thread_count() must not touch threads_ itself, or
+  /// it would race with a concurrent resize's vector surgery.
+  std::atomic<std::size_t> size_{1};
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
@@ -125,9 +154,6 @@ class Pool {
   std::exception_ptr first_error_;
 };
 
-// parallel_for must not be re-entered from a worker; detect with a flag.
-thread_local bool in_parallel_region = false;
-
 }  // namespace
 
 std::size_t hardware_threads() {
@@ -135,6 +161,11 @@ std::size_t hardware_threads() {
 }
 
 void set_thread_count(std::size_t n) {
+  // Resizing from inside a parallel_for body would self-deadlock: resize
+  // blocks on the jobs mutex held by the very run() waiting on this body.
+  TVBF_REQUIRE(!in_parallel_region,
+               "set_thread_count must not be called from inside a "
+               "parallel_for body or pool worker");
   Pool::instance().resize(
       n == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
              : n);

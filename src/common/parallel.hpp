@@ -15,12 +15,17 @@ namespace tvbf {
 std::size_t hardware_threads();
 
 /// Overrides the pool size (test hook; 0 restores the hardware default).
-/// Must not be called concurrently with parallel_for.
+/// Safe against in-flight jobs from other threads (the pool is resized
+/// between jobs), but must not be called from inside a parallel_for body
+/// on any thread — that throws InvalidArgument instead of deadlocking.
 void set_thread_count(std::size_t n);
 
 /// Runs fn(begin..end) split into contiguous chunks across the pool.
 /// Falls back to serial execution for small ranges or single-thread pools.
-/// fn must be safe to invoke concurrently on disjoint ranges.
+/// fn must be safe to invoke concurrently on disjoint ranges. Concurrent
+/// top-level callers are serialized on the pool's single job slot (nested
+/// calls from inside a parallel region still degrade to serial inline
+/// execution).
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& fn,
                   std::size_t min_grain = 256);

@@ -1,0 +1,201 @@
+#include "kernels/conv.hpp"
+
+#include <algorithm>
+
+#include "common/parallel.hpp"
+#include "kernels/gemm.hpp"
+
+namespace tvbf::kernels {
+namespace {
+
+/// Column range [wlo, whi) of *output* pixels whose input column
+/// w + c - pw stays inside [0, W).
+inline void valid_out_cols(std::int64_t W, std::int64_t c, std::int64_t pw,
+                           std::int64_t& wlo, std::int64_t& whi) {
+  wlo = std::max<std::int64_t>(0, pw - c);
+  whi = std::min(W, W + pw - c);
+}
+
+}  // namespace
+
+void conv2d_same_forward_rows(const float* in, const float* k, float* out,
+                              const Conv2dShape& s, std::int64_t h_begin,
+                              std::int64_t h_end) {
+  const std::int64_t ph = s.kh / 2, pw = s.kw / 2;
+  std::fill(out + h_begin * s.W * s.Co, out + h_end * s.W * s.Co, 0.0f);
+  for (std::int64_t h = h_begin; h < h_end; ++h) {
+    for (std::int64_t r = 0; r < s.kh; ++r) {
+      const std::int64_t ih = h + r - ph;
+      if (ih < 0 || ih >= s.H) continue;
+      for (std::int64_t c = 0; c < s.kw; ++c) {
+        std::int64_t wlo, whi;
+        valid_out_cols(s.W, c, pw, wlo, whi);
+        if (wlo >= whi) continue;
+        // out[h, wlo:whi, :] += in[ih, wlo+c-pw : whi+c-pw, :] . K[r, c]
+        const float* a = in + (ih * s.W + wlo + c - pw) * s.Ci;
+        const float* b = k + (r * s.kw + c) * s.Ci * s.Co;
+        float* o = out + (h * s.W + wlo) * s.Co;
+        gemm_rows(a, b, o, whi - wlo, s.Ci, s.Co, 0, whi - wlo,
+                  /*accumulate=*/true);
+      }
+    }
+  }
+}
+
+void conv2d_same_forward(const float* in, const float* k, float* out,
+                         const Conv2dShape& s) {
+  parallel_for(
+      0, static_cast<std::size_t>(s.H),
+      [&](std::size_t hb, std::size_t he) {
+        conv2d_same_forward_rows(in, k, out, s, static_cast<std::int64_t>(hb),
+                                 static_cast<std::int64_t>(he));
+      },
+      /*min_grain=*/1);
+}
+
+void conv2d_same_forward_reference(const float* in, const float* k, float* out,
+                                   const Conv2dShape& s) {
+  const std::int64_t H = s.H, W = s.W, Ci = s.Ci;
+  const std::int64_t kh = s.kh, kw = s.kw, Co = s.Co;
+  const std::int64_t ph = kh / 2, pw = kw / 2;
+  std::fill(out, out + H * W * Co, 0.0f);
+  for (std::int64_t h = 0; h < H; ++h) {
+    for (std::int64_t w = 0; w < W; ++w) {
+      float* o = out + (h * W + w) * Co;
+      for (std::int64_t r = 0; r < kh; ++r) {
+        const std::int64_t ih = h + r - ph;
+        if (ih < 0 || ih >= H) continue;
+        for (std::int64_t c = 0; c < kw; ++c) {
+          const std::int64_t iw = w + c - pw;
+          if (iw < 0 || iw >= W) continue;
+          const float* x = in + (ih * W + iw) * Ci;
+          const float* kk = k + (r * kw + c) * Ci * Co;
+          for (std::int64_t ci = 0; ci < Ci; ++ci) {
+            const float xv = x[ci];
+            if (xv == 0.0f) continue;
+            const float* krow = kk + ci * Co;
+            for (std::int64_t co = 0; co < Co; ++co) o[co] += xv * krow[co];
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_same_backward_bias(const float* dy, float* gb,
+                               const Conv2dShape& s) {
+  const std::int64_t pixels = s.H * s.W, Co = s.Co;
+  parallel_for_each(
+      0, static_cast<std::size_t>(Co),
+      [&](std::size_t co) {
+        double acc = 0.0;
+        for (std::int64_t p = 0; p < pixels; ++p)
+          acc += dy[p * Co + static_cast<std::int64_t>(co)];
+        gb[co] += static_cast<float>(acc);
+      },
+      /*min_grain=*/1);
+}
+
+void conv2d_same_backward_kernel(const float* in, const float* dy, float* gk,
+                                 const Conv2dShape& s) {
+  const std::int64_t ph = s.kh / 2, pw = s.kw / 2;
+  parallel_for_each(
+      0, static_cast<std::size_t>(s.kh * s.kw),
+      [&](std::size_t idx) {
+        const std::int64_t r = static_cast<std::int64_t>(idx) / s.kw;
+        const std::int64_t c = static_cast<std::int64_t>(idx) % s.kw;
+        float* gkk = gk + static_cast<std::int64_t>(idx) * s.Ci * s.Co;
+        std::int64_t wlo, whi;
+        valid_out_cols(s.W, c, pw, wlo, whi);
+        if (wlo >= whi) return;
+        for (std::int64_t h = 0; h < s.H; ++h) {
+          const std::int64_t ih = h + r - ph;
+          if (ih < 0 || ih >= s.H) continue;
+          // gk[r, c] += in[ih, seg]^T . dy[h, seg]
+          const float* a = in + (ih * s.W + wlo + c - pw) * s.Ci;
+          const float* b = dy + (h * s.W + wlo) * s.Co;
+          gemm_tn_panel(a, b, gkk, whi - wlo, s.Ci, s.Co, 0, s.Ci);
+        }
+      },
+      /*min_grain=*/1);
+}
+
+void conv2d_same_backward_kernel_reference(const float* in, const float* dy,
+                                           float* gk, const Conv2dShape& s) {
+  const std::int64_t H = s.H, W = s.W, Ci = s.Ci;
+  const std::int64_t kh = s.kh, kw = s.kw, Co = s.Co;
+  const std::int64_t ph = kh / 2, pw = kw / 2;
+  for (std::int64_t r = 0; r < kh; ++r)
+    for (std::int64_t c = 0; c < kw; ++c)
+      for (std::int64_t h = 0; h < H; ++h) {
+        const std::int64_t ih = h + r - ph;
+        if (ih < 0 || ih >= H) continue;
+        for (std::int64_t w = 0; w < W; ++w) {
+          const std::int64_t iw = w + c - pw;
+          if (iw < 0 || iw >= W) continue;
+          const float* x = in + (ih * W + iw) * Ci;
+          const float* dyo = dy + (h * W + w) * Co;
+          float* gkk = gk + (r * kw + c) * Ci * Co;
+          for (std::int64_t ci = 0; ci < Ci; ++ci)
+            for (std::int64_t co = 0; co < Co; ++co)
+              gkk[ci * Co + co] += x[ci] * dyo[co];
+        }
+      }
+}
+
+void conv2d_same_backward_input(const float* k, const float* dy, float* gx,
+                                const Conv2dShape& s) {
+  const std::int64_t ph = s.kh / 2, pw = s.kw / 2;
+  parallel_for_each(
+      0, static_cast<std::size_t>(s.H),
+      [&](std::size_t ihi) {
+        const auto ih = static_cast<std::int64_t>(ihi);
+        for (std::int64_t r = 0; r < s.kh; ++r) {
+          const std::int64_t h = ih - r + ph;
+          if (h < 0 || h >= s.H) continue;
+          for (std::int64_t c = 0; c < s.kw; ++c) {
+            // Input columns [wlo, whi) whose source w = iw - c + pw is valid.
+            const std::int64_t wlo = std::max<std::int64_t>(0, c - pw);
+            const std::int64_t whi = std::min(s.W, s.W + c - pw);
+            if (wlo >= whi) continue;
+            // gx[ih, wlo:whi, :] += dy[h, seg] . K[r, c]^T
+            const float* a = dy + (h * s.W + wlo - c + pw) * s.Co;
+            const float* b = k + (r * s.kw + c) * s.Ci * s.Co;
+            float* o = gx + (ih * s.W + wlo) * s.Ci;
+            gemm_nt_rows(a, b, o, whi - wlo, s.Co, s.Ci, 0, whi - wlo,
+                         /*accumulate=*/true);
+          }
+        }
+      },
+      /*min_grain=*/1);
+}
+
+void conv2d_same_backward_input_reference(const float* k, const float* dy,
+                                          float* gx, const Conv2dShape& s) {
+  const std::int64_t H = s.H, W = s.W, Ci = s.Ci;
+  const std::int64_t kh = s.kh, kw = s.kw, Co = s.Co;
+  const std::int64_t ph = kh / 2, pw = kw / 2;
+  for (std::int64_t ih = 0; ih < H; ++ih)
+    for (std::int64_t iw = 0; iw < W; ++iw) {
+      float* gxo = gx + (ih * W + iw) * Ci;
+      for (std::int64_t r = 0; r < kh; ++r) {
+        const std::int64_t h = ih - r + ph;
+        if (h < 0 || h >= H) continue;
+        for (std::int64_t c = 0; c < kw; ++c) {
+          const std::int64_t w = iw - c + pw;
+          if (w < 0 || w >= W) continue;
+          const float* dyo = dy + (h * W + w) * Co;
+          const float* kk = k + (r * kw + c) * Ci * Co;
+          for (std::int64_t ci = 0; ci < Ci; ++ci) {
+            double acc = 0.0;
+            const float* krow = kk + ci * Co;
+            for (std::int64_t co = 0; co < Co; ++co)
+              acc += static_cast<double>(dyo[co]) * krow[co];
+            gxo[ci] += static_cast<float>(acc);
+          }
+        }
+      }
+    }
+}
+
+}  // namespace tvbf::kernels

@@ -1,0 +1,62 @@
+// Tiled direct conv2d (SAME padding) kernels, forward and backward.
+//
+// Layout matches the nn layer: input (H, W, Ci), kernel (kh, kw, Ci, Co)
+// with odd extents, output (H, W, Co). Each kernel offset (r, c) contributes
+// a shifted row-segment matmul — out[h, wlo:whi, :] += in[ih, ...] .
+// K[r, c, :, :] — so the forward and both backward passes reduce to the
+// register-blocked GEMM panels in kernels/gemm.hpp, with the padding borders
+// folded into the segment bounds instead of per-pixel branches. The
+// `_reference` entry points preserve the original naive serial loops for
+// equivalence testing.
+#pragma once
+
+#include <cstdint>
+
+namespace tvbf::kernels {
+
+/// Dimensions of a SAME conv2d: input (H, W, Ci), kernel (kh, kw, Ci, Co).
+struct Conv2dShape {
+  std::int64_t H = 0;
+  std::int64_t W = 0;
+  std::int64_t Ci = 0;
+  std::int64_t kh = 0;
+  std::int64_t kw = 0;
+  std::int64_t Co = 0;
+};
+
+/// Serial forward for output rows [h_begin, h_end); overwrites those rows.
+void conv2d_same_forward_rows(const float* in, const float* k, float* out,
+                              const Conv2dShape& s, std::int64_t h_begin,
+                              std::int64_t h_end);
+
+/// Forward pass, threaded over output rows. Overwrites `out`.
+void conv2d_same_forward(const float* in, const float* k, float* out,
+                         const Conv2dShape& s);
+
+/// Original naive serial forward (seed implementation). Overwrites `out`.
+void conv2d_same_forward_reference(const float* in, const float* k, float* out,
+                                   const Conv2dShape& s);
+
+/// gb(co) += sum_{h,w} dy(h, w, co); threaded over output channels.
+void conv2d_same_backward_bias(const float* dy, float* gb,
+                               const Conv2dShape& s);
+
+/// gk(r, c, ci, co) += sum in(ih, iw, ci) dy(h, w, co); threaded over the
+/// (r, c) kernel offsets (each owns a disjoint gk slice).
+void conv2d_same_backward_kernel(const float* in, const float* dy, float* gk,
+                                 const Conv2dShape& s);
+
+/// Original serial kernel-gradient loop (seed implementation); accumulates.
+void conv2d_same_backward_kernel_reference(const float* in, const float* dy,
+                                           float* gk, const Conv2dShape& s);
+
+/// gx(ih, iw, ci) += sum dy(h, w, co) k(r, c, ci, co); threaded over input
+/// rows (each owns a disjoint gx row).
+void conv2d_same_backward_input(const float* k, const float* dy, float* gx,
+                                const Conv2dShape& s);
+
+/// Original serial input-gradient loop (seed implementation); accumulates.
+void conv2d_same_backward_input_reference(const float* k, const float* dy,
+                                          float* gx, const Conv2dShape& s);
+
+}  // namespace tvbf::kernels

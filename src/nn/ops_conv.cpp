@@ -1,4 +1,4 @@
-#include "common/parallel.hpp"
+#include "kernels/conv.hpp"
 #include "nn/ops.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -8,34 +8,13 @@ using detail::Node;
 
 namespace {
 
-/// Forward SAME conv: out(h,w,co) = sum_{kh,kw,ci} in(h+kh-ph, w+kw-pw, ci)
-/// * K(kh,kw,ci,co). Threaded across output rows.
-void conv2d_forward(const Tensor& in, const Tensor& k, Tensor& out) {
-  const std::int64_t H = in.dim(0), W = in.dim(1), Ci = in.dim(2);
-  const std::int64_t kh = k.dim(0), kw = k.dim(1), Co = k.dim(3);
-  const std::int64_t ph = kh / 2, pw = kw / 2;
-  parallel_for_each(0, static_cast<std::size_t>(H), [&](std::size_t hi) {
-    const auto h = static_cast<std::int64_t>(hi);
-    for (std::int64_t w = 0; w < W; ++w) {
-      float* o = out.raw() + (h * W + w) * Co;
-      for (std::int64_t r = 0; r < kh; ++r) {
-        const std::int64_t ih = h + r - ph;
-        if (ih < 0 || ih >= H) continue;
-        for (std::int64_t c = 0; c < kw; ++c) {
-          const std::int64_t iw = w + c - pw;
-          if (iw < 0 || iw >= W) continue;
-          const float* x = in.raw() + (ih * W + iw) * Ci;
-          const float* kk = k.raw() + (r * kw + c) * Ci * Co;
-          for (std::int64_t ci = 0; ci < Ci; ++ci) {
-            const float xv = x[ci];
-            if (xv == 0.0f) continue;
-            const float* krow = kk + ci * Co;
-            for (std::int64_t co = 0; co < Co; ++co) o[co] += xv * krow[co];
-          }
-        }
-      }
-    }
-  }, /*min_grain=*/1);
+kernels::Conv2dShape conv_shape(const Tensor& in, const Tensor& k) {
+  return {.H = in.dim(0),
+          .W = in.dim(1),
+          .Ci = in.dim(2),
+          .kh = k.dim(0),
+          .kw = k.dim(1),
+          .Co = k.dim(3)};
 }
 
 }  // namespace
@@ -56,67 +35,25 @@ Variable conv2d_same(const Variable& input, const Variable& kernel,
   const std::int64_t H = in.dim(0), W = in.dim(1);
   const std::int64_t Co = k.dim(3);
   Tensor out({H, W, Co});
-  conv2d_forward(in, k, out);
+  kernels::conv2d_same_forward(in.raw(), k.raw(), out.raw(),
+                               conv_shape(in, k));
   out = tvbf::add_bias(out, bias.value());
   return Variable::make_op(
       std::move(out), {input, kernel, bias},
       [](Node& n) {
         const Tensor& in = n.parents[0]->value;
         const Tensor& k = n.parents[1]->value;
-        const std::int64_t H = in.dim(0), W = in.dim(1), Ci = in.dim(2);
-        const std::int64_t kh = k.dim(0), kw = k.dim(1), Co = k.dim(3);
-        const std::int64_t ph = kh / 2, pw = kw / 2;
+        const kernels::Conv2dShape s = conv_shape(in, k);
         const float* dy = n.grad.raw();
-        if (n.parents[2]->requires_grad) {
-          float* gb = n.parents[2]->ensure_grad().raw();
-          for (std::int64_t p = 0; p < H * W; ++p)
-            for (std::int64_t co = 0; co < Co; ++co) gb[co] += dy[p * Co + co];
-        }
-        if (n.parents[1]->requires_grad) {
-          float* gk = n.parents[1]->ensure_grad().raw();
-          // dK(r,c,ci,co) = sum_{h,w} in(h+r-ph, w+c-pw, ci) dy(h,w,co)
-          for (std::int64_t r = 0; r < kh; ++r)
-            for (std::int64_t c = 0; c < kw; ++c)
-              for (std::int64_t h = 0; h < H; ++h) {
-                const std::int64_t ih = h + r - ph;
-                if (ih < 0 || ih >= H) continue;
-                for (std::int64_t w = 0; w < W; ++w) {
-                  const std::int64_t iw = w + c - pw;
-                  if (iw < 0 || iw >= W) continue;
-                  const float* x = in.raw() + (ih * W + iw) * Ci;
-                  const float* dyo = dy + (h * W + w) * Co;
-                  float* gkk = gk + (r * kw + c) * Ci * Co;
-                  for (std::int64_t ci = 0; ci < Ci; ++ci)
-                    for (std::int64_t co = 0; co < Co; ++co)
-                      gkk[ci * Co + co] += x[ci] * dyo[co];
-                }
-              }
-        }
-        if (n.parents[0]->requires_grad) {
-          float* gx = n.parents[0]->ensure_grad().raw();
-          // dX(ih,iw,ci) = sum_{r,c,co} dy(ih-r+ph, iw-c+pw, co) K(r,c,ci,co)
-          for (std::int64_t ih = 0; ih < H; ++ih)
-            for (std::int64_t iw = 0; iw < W; ++iw) {
-              float* gxo = gx + (ih * W + iw) * Ci;
-              for (std::int64_t r = 0; r < kh; ++r) {
-                const std::int64_t h = ih - r + ph;
-                if (h < 0 || h >= H) continue;
-                for (std::int64_t c = 0; c < kw; ++c) {
-                  const std::int64_t w = iw - c + pw;
-                  if (w < 0 || w >= W) continue;
-                  const float* dyo = dy + (h * W + w) * Co;
-                  const float* kk = k.raw() + (r * kw + c) * Ci * Co;
-                  for (std::int64_t ci = 0; ci < Ci; ++ci) {
-                    double acc = 0.0;
-                    const float* krow = kk + ci * Co;
-                    for (std::int64_t co = 0; co < Co; ++co)
-                      acc += static_cast<double>(dyo[co]) * krow[co];
-                    gxo[ci] += static_cast<float>(acc);
-                  }
-                }
-              }
-            }
-        }
+        if (n.parents[2]->requires_grad)
+          kernels::conv2d_same_backward_bias(
+              dy, n.parents[2]->ensure_grad().raw(), s);
+        if (n.parents[1]->requires_grad)
+          kernels::conv2d_same_backward_kernel(
+              in.raw(), dy, n.parents[1]->ensure_grad().raw(), s);
+        if (n.parents[0]->requires_grad)
+          kernels::conv2d_same_backward_input(
+              k.raw(), dy, n.parents[0]->ensure_grad().raw(), s);
       },
       "conv2d_same");
 }

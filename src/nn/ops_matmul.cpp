@@ -1,3 +1,4 @@
+#include "kernels/gemm.hpp"
 #include "nn/ops.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -41,18 +42,10 @@ Variable batched_matmul(const Variable& a, const Variable& b) {
         if (n.parents[1]->requires_grad) {
           Tensor& gb = n.parents[1]->ensure_grad();
           if (broadcast) {
-            // dB = sum_b A[b]^T dC[b]: accumulate serially (k x n).
-            for (std::int64_t bi = 0; bi < batch; ++bi) {
-              for (std::int64_t p = 0; p < k; ++p)
-                for (std::int64_t i = 0; i < m; ++i) {
-                  const float av = A.raw()[(bi * m + i) * k + p];
-                  if (av == 0.0f) continue;
-                  const float* dyrow = n.grad.raw() + (bi * m + i) * nn;
-                  float* gbrow = gb.raw() + p * nn;
-                  for (std::int64_t j = 0; j < nn; ++j)
-                    gbrow[j] += av * dyrow[j];
-                }
-            }
+            // dB = sum_b A[b]^T dC[b] = A_flat^T dC_flat with the batch
+            // folded into the rows; threaded over the k rows of dB.
+            kernels::gemm_tn_accumulate(A.raw(), n.grad.raw(), gb.raw(),
+                                        batch * m, k, nn);
           } else {
             add_inplace(gb, tvbf::batched_matmul(transpose_last2(A), n.grad));
           }

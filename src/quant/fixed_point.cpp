@@ -113,14 +113,22 @@ Fixed Fixed::operator+(const Fixed& o) const {
 
 Fixed Fixed::operator*(const Fixed& o) const {
   // Widened product has frac_bits + o.frac_bits fractional bits; shift back
-  // to this format with round-to-nearest.
+  // to this format with round-to-nearest-even, matching quantize_value's
+  // std::nearbyint so the integer accelerator path and the fake-quantized
+  // tensor path agree on ties (the old `wide + half - 1` negative-tie
+  // handling rounded -0.5 steps toward -inf instead of to even).
   Fixed out;
   out.fmt_ = fmt_;
   const std::int64_t wide = raw_ * o.raw_;
   const int shift = o.fmt_.frac_bits;
-  const std::int64_t half = shift > 0 ? (std::int64_t{1} << (shift - 1)) : 0;
-  const std::int64_t rounded =
-      shift > 0 ? ((wide >= 0 ? wide + half : wide + half - 1) >> shift) : wide;
+  std::int64_t rounded = wide;
+  if (shift > 0) {
+    const std::int64_t half = std::int64_t{1} << (shift - 1);
+    std::int64_t q = wide >> shift;  // floor (arithmetic shift)
+    const std::int64_t rem = wide - (q << shift);  // in [0, 2^shift)
+    if (rem > half || (rem == half && (q & 1))) ++q;
+    rounded = q;
+  }
   out.raw_ = saturate(rounded, fmt_.bits);
   return out;
 }

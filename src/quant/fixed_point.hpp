@@ -70,8 +70,9 @@ class Fixed {
 
   /// Sum in the common format (formats must match).
   Fixed operator+(const Fixed& o) const;
-  /// Product requantized back to this value's format (hardware truncates the
-  /// widened product after the multiplier).
+  /// Product requantized back to this value's format: the widened product is
+  /// shifted back with round-to-nearest-even, bit-exact with quantize_value's
+  /// std::nearbyint rounding of the same real product.
   Fixed operator*(const Fixed& o) const;
 
  private:

@@ -140,7 +140,8 @@ Tensor QuantizedTinyVbf::attention(const Tensor& x, const BlockW& blk) const {
         kh.raw()[r * dk + j] = k.raw()[r * d + h * dk + j];
         vh.raw()[r * dk + j] = v.raw()[r * d + h * dk + j];
       }
-    Tensor scores = q_op(batched_matmul(qh, transpose_last2(kh)));
+    // Q.K^T through the blocked NT kernel: no materialized transpose.
+    Tensor scores = q_op(batched_matmul_nt(qh, kh));
     scores = q_op(scale(scores, inv_sqrt_dk));
     const Tensor attn = softmax_last(scores);
     const Tensor oh = q_op(batched_matmul(attn, vh));  // (nz, np, dk)

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/parallel.hpp"
+#include "kernels/gemm.hpp"
 
 namespace tvbf {
 namespace {
@@ -130,27 +131,6 @@ float max_abs(const Tensor& a) {
   return m;
 }
 
-namespace {
-
-/// Serial (m,k)x(k,n) kernel over raw pointers, ikj loop order for locality.
-void matmul_rows(const float* a, const float* b, float* c,
-                 [[maybe_unused]] std::int64_t m, std::int64_t k,
-                 std::int64_t n, std::int64_t row_begin, std::int64_t row_end) {
-  for (std::int64_t i = row_begin; i < row_end; ++i) {
-    float* crow = c + i * n;
-    std::fill(crow, crow + n, 0.0f);
-    const float* arow = a + i * k;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-}  // namespace
-
 Tensor matmul(const Tensor& a, const Tensor& b) {
   TVBF_REQUIRE(a.rank() == 2 && b.rank() == 2, "matmul needs rank-2 inputs");
   const std::int64_t m = a.dim(0), k = a.dim(1);
@@ -159,14 +139,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                   to_string(b.shape()));
   const std::int64_t n = b.dim(1);
   Tensor c({m, n});
-  parallel_for(
-      0, static_cast<std::size_t>(m),
-      [&](std::size_t rb, std::size_t re) {
-        matmul_rows(a.raw(), b.raw(), c.raw(), m, k, n,
-                    static_cast<std::int64_t>(rb),
-                    static_cast<std::int64_t>(re));
-      },
-      /*min_grain=*/8);
+  kernels::gemm(a.raw(), b.raw(), c.raw(), m, k, n);
   return c;
 }
 
@@ -184,16 +157,58 @@ Tensor batched_matmul(const Tensor& a, const Tensor& b) {
   TVBF_REQUIRE(bk == k, "batched_matmul inner dims differ: " +
                             to_string(a.shape()) + " x " + to_string(b.shape()));
   Tensor c({B, m, n});
+  if (broadcast) {
+    // One rhs for every batch: fold the batch into the rows and run a single
+    // flat GEMM, so the packed B panels are reused across the whole batch.
+    kernels::gemm(a.raw(), b.raw(), c.raw(), B * m, k, n);
+    return c;
+  }
+  // Chunk the flat (batch, row) range, then hand each per-batch span of
+  // consecutive rows to the blocked kernel in one call.
   parallel_for(
       0, static_cast<std::size_t>(B * m),
       [&](std::size_t rb, std::size_t re) {
-        for (std::size_t r = rb; r < re; ++r) {
+        std::size_t r = rb;
+        while (r < re) {
           const auto batch = static_cast<std::int64_t>(r) / m;
           const auto row = static_cast<std::int64_t>(r) % m;
-          const float* pa = a.raw() + (batch * m + row) * k;
-          const float* pb = b.raw() + (broadcast ? 0 : batch * k * n);
-          float* pc = c.raw() + (batch * m + row) * n;
-          matmul_rows(pa, pb, pc, 1, k, n, 0, 1);
+          const auto rows =
+              std::min<std::int64_t>(static_cast<std::int64_t>(re - r), m - row);
+          kernels::gemm_rows(a.raw() + batch * m * k, b.raw() + batch * k * n,
+                             c.raw() + batch * m * n, m, k, n, row,
+                             row + rows);
+          r += static_cast<std::size_t>(rows);
+        }
+      },
+      /*min_grain=*/8);
+  return c;
+}
+
+Tensor batched_matmul_nt(const Tensor& a, const Tensor& b) {
+  TVBF_REQUIRE(a.rank() == 3 && b.rank() == 3,
+               "batched_matmul_nt needs rank-3 inputs");
+  const std::int64_t B = a.dim(0), m = a.dim(1), k = a.dim(2);
+  TVBF_REQUIRE(b.dim(0) == B, "batch sizes differ: " + to_string(a.shape()) +
+                                  " x " + to_string(b.shape()));
+  TVBF_REQUIRE(b.dim(2) == k, "batched_matmul_nt inner dims differ: " +
+                                  to_string(a.shape()) + " x " +
+                                  to_string(b.shape()));
+  const std::int64_t n = b.dim(1);
+  Tensor c({B, m, n});
+  parallel_for(
+      0, static_cast<std::size_t>(B * m),
+      [&](std::size_t rb, std::size_t re) {
+        std::size_t r = rb;
+        while (r < re) {
+          const auto batch = static_cast<std::int64_t>(r) / m;
+          const auto row = static_cast<std::int64_t>(r) % m;
+          const auto rows =
+              std::min<std::int64_t>(static_cast<std::int64_t>(re - r), m - row);
+          kernels::gemm_nt_rows(a.raw() + batch * m * k,
+                                b.raw() + batch * n * k,
+                                c.raw() + batch * m * n, m, k, n, row,
+                                row + rows);
+          r += static_cast<std::size_t>(rows);
         }
       },
       /*min_grain=*/8);

@@ -52,6 +52,11 @@ Tensor matmul(const Tensor& a, const Tensor& b);
 /// broadcast across the batch.
 Tensor batched_matmul(const Tensor& a, const Tensor& b);
 
+/// Batched matmul against the transposed rhs: a (B,m,k) x b (B,n,k)^T ->
+/// (B,m,n), i.e. c[b](i,j) = dot(a[b] row i, b[b] row j). Attention scores
+/// (Q.K^T) consume K directly without materializing the transpose.
+Tensor batched_matmul_nt(const Tensor& a, const Tensor& b);
+
 /// Transpose of a rank-2 tensor.
 Tensor transpose(const Tensor& a);
 

@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -123,6 +125,77 @@ TEST(ParallelFor, NestedCallsRunSerially) {
     parallel_for_each(0, 10, [&](std::size_t) { total++; }, 1);
   }, 1);
   EXPECT_EQ(total.load(), 640);
+}
+
+TEST(ParallelFor, NestedCallsFromWorkerThreadsRunSerially) {
+  // Regression: a nested parallel_for reached on a *worker* thread (not the
+  // top-level caller) must degrade to serial, or it deadlocks on the pool's
+  // job serialization. The outer bodies sleep briefly so the workers — not
+  // just the calling thread — actually claim chunks.
+  set_thread_count(4);
+  std::atomic<int> total{0};
+  parallel_for_each(0, 16, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    parallel_for_each(0, 100, [&](std::size_t) { total++; }, 1);
+  }, 1);
+  set_thread_count(0);
+  EXPECT_EQ(total.load(), 1600);
+}
+
+TEST(ParallelFor, ConcurrentTopLevelCallersDoNotCorruptEachOther) {
+  // Regression: two non-worker threads entering parallel_for used to race
+  // on the pool's shared job slot (job_fn_/cursor_/pending_) and silently
+  // compute garbage (or hang on a lost wakeup). Hammer the pool from
+  // several top-level threads and check every call sees its own full range.
+  set_thread_count(4);  // single-core CI boxes would otherwise run serial
+  constexpr std::size_t kCallers = 4;
+  constexpr int kIters = 50;
+  constexpr std::size_t kRange = 4096;
+  constexpr long long kExpected =
+      static_cast<long long>(kRange) * (kRange - 1) / 2;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&] {
+      for (int it = 0; it < kIters; ++it) {
+        std::atomic<long long> sum{0};
+        parallel_for_each(
+            0, kRange,
+            [&](std::size_t i) { sum += static_cast<long long>(i); },
+            /*min_grain=*/1);
+        if (sum.load() != kExpected) ++bad;
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  set_thread_count(0);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ParallelFor, ResizeDuringInFlightJobsIsSafe) {
+  // set_thread_count must wait out an in-flight job instead of tearing the
+  // pool down underneath it.
+  set_thread_count(4);
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::thread hammer([&] {
+    constexpr std::size_t kRange = 2048;
+    constexpr long long kExpected =
+        static_cast<long long>(kRange) * (kRange - 1) / 2;
+    while (!stop.load()) {
+      std::atomic<long long> sum{0};
+      parallel_for_each(
+          0, kRange, [&](std::size_t i) { sum += static_cast<long long>(i); },
+          /*min_grain=*/1);
+      if (sum.load() != kExpected) ++bad;
+    }
+  });
+  for (int round = 0; round < 20; ++round) set_thread_count(2 + round % 3);
+  stop = true;
+  hammer.join();
+  set_thread_count(0);
+  EXPECT_EQ(bad.load(), 0);
 }
 
 class ThreadCountTest : public ::testing::TestWithParam<std::size_t> {};

@@ -118,6 +118,43 @@ TEST(Fixed, MultiplicationRequantizes) {
   EXPECT_NEAR((s1 * s2).to_float(), 0.00390625f * 0.5f, f.step());
 }
 
+TEST(Fixed, MultiplicationMatchesNearbyintExhaustively) {
+  // Regression: the old negative-tie handling (`wide + half - 1 >> shift`)
+  // rounded -0.5-step products toward -inf while quantize_value rounds ties
+  // to even, so the integer accelerator path disagreed with tensor
+  // quantization on exactly those products. Sweep every representable pair
+  // for several small widths; products of these magnitudes are exact in
+  // float, so quantize_value of the real product is the ground truth.
+  for (const auto& f : {FixedFormat{4, 2}, FixedFormat{5, 3}, FixedFormat{6, 3},
+                        FixedFormat{6, 5}}) {
+    const std::int64_t lo = -(std::int64_t{1} << (f.bits - 1));
+    const std::int64_t hi = (std::int64_t{1} << (f.bits - 1)) - 1;
+    for (std::int64_t ra = lo; ra <= hi; ++ra) {
+      for (std::int64_t rb = lo; rb <= hi; ++rb) {
+        const float av = static_cast<float>(static_cast<double>(ra) * f.step());
+        const float bv = static_cast<float>(static_cast<double>(rb) * f.step());
+        const Fixed a(av, f), b(bv, f);
+        ASSERT_EQ(a.raw(), ra);
+        ASSERT_EQ(b.raw(), rb);
+        const float product = av * bv;  // exact: few mantissa bits
+        EXPECT_FLOAT_EQ((a * b).to_float(), quantize_value(product, f))
+            << "bits=" << f.bits << " frac=" << f.frac_bits << " a=" << av
+            << " b=" << bv;
+      }
+    }
+  }
+}
+
+TEST(Fixed, MultiplicationNegativeTieRoundsToEven) {
+  // The smallest concrete disagreement case: with 2 fractional bits,
+  // (-0.25) * 0.5 = -0.125 = -0.5 steps, a tie, which must round to the
+  // even raw value 0, not to -1 (-0.25).
+  const FixedFormat f{4, 2};
+  const Fixed a(-0.25f, f), b(0.5f, f);
+  EXPECT_EQ((a * b).raw(), 0);
+  EXPECT_FLOAT_EQ((a * b).to_float(), quantize_value(-0.125f, f));
+}
+
 TEST(Fixed, MixedFormatAddThrows) {
   const Fixed a(1.0f, FixedFormat{8, 4});
   const Fixed b(1.0f, FixedFormat{8, 5});
