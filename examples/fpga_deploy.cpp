@@ -5,6 +5,7 @@
 //
 //   ./fpga_deploy
 #include <cstdio>
+#include <cstring>
 
 #include "accel/accelerator.hpp"
 #include "accel/pe.hpp"
@@ -14,8 +15,19 @@
 #include "quant/quantized_tiny_vbf.hpp"
 #include "tensor/tensor_ops.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tvbf;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s\n(no options; prints the quantization, "
+                  "accelerator and resource walkthrough)\n",
+                  argv[0]);
+      return 0;
+    }
+    std::fprintf(stderr, "%s: unknown argument '%s'\nusage: %s\n", argv[0],
+                 argv[i], argv[0]);
+    return 1;
+  }
 
   // An (untrained) paper-scale Tiny-VBF; deployment mechanics are weight
   // agnostic. Swap in nn::load_parameters(...) for a trained checkpoint.

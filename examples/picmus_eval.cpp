@@ -16,8 +16,21 @@
 int main(int argc, char** argv) {
   using namespace tvbf;
   bool quick = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--quick]\n"
+                  "  --quick  reduced training strength (fast smoke run)\n",
+                  argv[0]);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\nusage: %s [--quick]\n",
+                   argv[0], argv[i], argv[0]);
+      return 1;
+    }
+  }
 
   const auto scene = benchx::make_scene(/*full=*/false);
   const auto models =

@@ -7,6 +7,7 @@
 //   phantom -> RF simulation -> ToF correction -> beamforming ->
 //   envelope -> log compression -> PGM image + contrast metrics.
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "beamform/das.hpp"
@@ -19,7 +20,21 @@
 
 int main(int argc, char** argv) {
   using namespace tvbf;
-  const std::string out_dir = argc > 1 ? argv[1] : "quickstart_out";
+  std::string out_dir = "quickstart_out";
+  bool have_dir = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [output_dir]\n", argv[0]);
+      return 0;
+    }
+    if (argv[i][0] == '-' || have_dir) {
+      std::fprintf(stderr, "%s: unknown argument '%s'\nusage: %s [output_dir]\n",
+                   argv[0], argv[i], argv[0]);
+      return 1;
+    }
+    out_dir = argv[i];
+    have_dir = true;
+  }
   io::ensure_directory(out_dir);
 
   // 1. A 32-element linear probe and a 192 x 64 pixel imaging grid.

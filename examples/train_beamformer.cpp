@@ -9,6 +9,7 @@
 // (bench/) does the full-strength version of this with caching.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "beamform/das.hpp"
 #include "common/rng.hpp"
@@ -21,8 +22,23 @@
 
 int main(int argc, char** argv) {
   using namespace tvbf;
-  const std::int64_t epochs = argc > 1 ? std::atoll(argv[1]) : 40;
-  const std::int64_t n_frames = argc > 2 ? std::atoll(argv[2]) : 4;
+  std::int64_t epochs = 40, n_frames = 4;
+  int positionals = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [epochs] [frames]\n", argv[0]);
+      return 0;
+    }
+    const std::int64_t value = std::atoll(argv[i]);
+    if (argv[i][0] == '-' || value < 1 || positionals >= 2) {
+      std::fprintf(stderr,
+                   "%s: unknown argument '%s'\nusage: %s [epochs] [frames]\n",
+                   argv[0], argv[i], argv[0]);
+      return 1;
+    }
+    (positionals == 0 ? epochs : n_frames) = value;
+    ++positionals;
+  }
 
   const us::Probe probe = us::Probe::test_probe(32);
   const us::ImagingGrid grid =

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "dsp/hilbert.hpp"
+#include "runtime/plan_cache.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "us/simulator.hpp"
 
@@ -33,19 +35,33 @@ Tensor compound_acquisitions(const std::vector<us::Acquisition>& acqs,
                              const CompoundingParams& params) {
   params.validate();
   TVBF_REQUIRE(!acqs.empty(), "no acquisitions to compound");
-  Tensor sum;
+  // ToF geometry depends only on (probe, grid, angle), so each steering
+  // angle's plan comes from the global cache and is rebuilt at most once
+  // per process, not once per compounded frame.
+  us::TofCube cube;
+  rt::ChannelWorkspace workspace;
+  Tensor sum;  // analytic: (nz, nx, 2) IQ; RF: (nz, nx) beamformed RF
   for (const auto& acq : acqs) {
     TVBF_REQUIRE(acq.probe.num_elements == acqs.front().probe.num_elements,
                  "acquisitions use different probes");
-    const us::TofCube cube = us::tof_correct(acq, grid, params.tof);
+    const auto plan =
+        rt::PlanCache::instance().get_for(acq, grid, params.tof.interp);
+    plan->apply(acq, params.tof.analytic, cube, &workspace);
     const DasBeamformer das(acq.probe, params.apodization);
-    Tensor iq = das.beamform(cube);
+    // On RF cubes, sum the beamformed RF planes: the Hilbert transform is
+    // linear, so it is hoisted out of the per-angle loop and applied once
+    // per compounded frame below (formerly once per angle inside
+    // das.beamform).
+    Tensor img = params.tof.analytic ? das.beamform(cube)
+                                     : das.beamform_rf(cube);
     if (sum.empty())
-      sum = std::move(iq);
+      sum = std::move(img);
     else
-      add_inplace(sum, iq);
+      add_inplace(sum, img);
   }
-  return scale(sum, 1.0f / static_cast<float>(acqs.size()));
+  Tensor avg = scale(sum, 1.0f / static_cast<float>(acqs.size()));
+  if (params.tof.analytic) return avg;
+  return dsp::analytic_columns(avg);
 }
 
 Tensor compound_plane_waves(const us::Probe& probe, const us::Phantom& phantom,

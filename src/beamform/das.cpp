@@ -7,24 +7,27 @@
 
 namespace tvbf::bf {
 
+namespace {
+void check_cube(const us::TofCube& cube, const us::Probe& probe) {
+  TVBF_REQUIRE(cube.real.rank() == 3, "DAS expects a (nz, nx, nch) cube");
+  TVBF_REQUIRE(cube.channels() == probe.num_elements,
+               "cube channel count does not match the probe");
+}
+}  // namespace
+
 DasBeamformer::DasBeamformer(const us::Probe& probe, ApodizationParams apod)
     : probe_(probe), apod_params_(apod) {
   probe_.validate();
 }
 
-Tensor DasBeamformer::beamform(const us::TofCube& cube) const {
-  TVBF_REQUIRE(cube.real.rank() == 3, "DAS expects a (nz, nx, nch) cube");
-  TVBF_REQUIRE(cube.channels() == probe_.num_elements,
-               "cube channel count does not match the probe");
+Tensor DasBeamformer::beamform_rf(const us::TofCube& cube) const {
+  check_cube(cube, probe_);
+  TVBF_REQUIRE(!cube.is_analytic(),
+               "beamform_rf expects an RF (non-analytic) cube");
   const std::int64_t nz = cube.nz(), nx = cube.nx(), nch = cube.channels();
   const Apodization apod(probe_, apod_params_);
-  const bool analytic = cube.is_analytic();
 
-  // Apodized sum across channels. Analytic input sums straight into the
-  // interleaved (nz, nx, 2) IQ image; RF input sums into a scratch plane
-  // that the per-column Hilbert pass below consumes.
-  Tensor iq({nz, nx, 2});
-  Tensor sum_re = analytic ? Tensor() : Tensor({nz, nx});
+  Tensor sum_re({nz, nx});
   parallel_for_each(0, static_cast<std::size_t>(nz), [&](std::size_t zi) {
     const auto iz = static_cast<std::int64_t>(zi);
     const double z = cube.grid.z_at(iz);
@@ -35,37 +38,42 @@ Tensor DasBeamformer::beamform(const us::TofCube& cube) const {
       double acc_re = 0.0;
       for (std::int64_t e = 0; e < nch; ++e)
         acc_re += static_cast<double>(w[static_cast<std::size_t>(e)]) * re[e];
-      if (analytic) {
-        const float* im = cube.imag.raw() + (iz * nx + ix) * nch;
-        double acc_im = 0.0;
-        for (std::int64_t e = 0; e < nch; ++e)
-          acc_im += static_cast<double>(w[static_cast<std::size_t>(e)]) * im[e];
-        iq.raw()[(iz * nx + ix) * 2] = static_cast<float>(acc_re);
-        iq.raw()[(iz * nx + ix) * 2 + 1] = static_cast<float>(acc_im);
-      } else {
-        sum_re.raw()[iz * nx + ix] = static_cast<float>(acc_re);
-      }
+      sum_re.raw()[iz * nx + ix] = static_cast<float>(acc_re);
     }
   }, /*min_grain=*/4);
+  return sum_re;
+}
 
-  if (!analytic) {
+Tensor DasBeamformer::beamform(const us::TofCube& cube) const {
+  check_cube(cube, probe_);
+  if (!cube.is_analytic()) {
     // Beamformed RF -> analytic signal per image column (paper: "processed
     // with the Hilbert Transform to obtain the final B-mode image").
-    parallel_for_each(0, static_cast<std::size_t>(nx), [&](std::size_t xi) {
-      std::vector<float> col(static_cast<std::size_t>(nz));
-      for (std::int64_t z = 0; z < nz; ++z)
-        col[static_cast<std::size_t>(z)] =
-            sum_re.raw()[z * nx + static_cast<std::int64_t>(xi)];
-      const auto a = dsp::analytic_signal(col);
-      for (std::int64_t z = 0; z < nz; ++z) {
-        const auto& v = a[static_cast<std::size_t>(z)];
-        iq.raw()[(z * nx + static_cast<std::int64_t>(xi)) * 2] =
-            static_cast<float>(v.real());
-        iq.raw()[(z * nx + static_cast<std::int64_t>(xi)) * 2 + 1] =
-            static_cast<float>(v.imag());
-      }
-    }, /*min_grain=*/8);
+    return dsp::analytic_columns(beamform_rf(cube));
   }
+
+  // Analytic input sums straight into the interleaved (nz, nx, 2) IQ image.
+  const std::int64_t nz = cube.nz(), nx = cube.nx(), nch = cube.channels();
+  const Apodization apod(probe_, apod_params_);
+  Tensor iq({nz, nx, 2});
+  parallel_for_each(0, static_cast<std::size_t>(nz), [&](std::size_t zi) {
+    const auto iz = static_cast<std::int64_t>(zi);
+    const double z = cube.grid.z_at(iz);
+    std::vector<float> w;
+    for (std::int64_t ix = 0; ix < nx; ++ix) {
+      apod.weights_into(cube.grid.x_at(ix), z, w);
+      const float* re = cube.real.raw() + (iz * nx + ix) * nch;
+      const float* im = cube.imag.raw() + (iz * nx + ix) * nch;
+      double acc_re = 0.0, acc_im = 0.0;
+      for (std::int64_t e = 0; e < nch; ++e) {
+        const auto we = static_cast<double>(w[static_cast<std::size_t>(e)]);
+        acc_re += we * re[e];
+        acc_im += we * im[e];
+      }
+      iq.raw()[(iz * nx + ix) * 2] = static_cast<float>(acc_re);
+      iq.raw()[(iz * nx + ix) * 2 + 1] = static_cast<float>(acc_im);
+    }
+  }, /*min_grain=*/4);
   return iq;
 }
 

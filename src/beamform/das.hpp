@@ -17,6 +17,11 @@ class DasBeamformer : public Beamformer {
   std::string name() const override { return "DAS"; }
   Tensor beamform(const us::TofCube& cube) const override;
 
+  /// The beamformed RF plane (nz, nx) of an RF (non-analytic) cube — the
+  /// apodized channel sum before the Hilbert stage. Compounding sums these
+  /// across angles and runs the Hilbert transform once per frame.
+  Tensor beamform_rf(const us::TofCube& cube) const;
+
  private:
   us::Probe probe_;
   ApodizationParams apod_params_;

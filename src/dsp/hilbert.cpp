@@ -73,6 +73,27 @@ Tensor envelope_columns(const Tensor& rf) {
   return out;
 }
 
+Tensor analytic_columns(const Tensor& rf) {
+  TVBF_REQUIRE(rf.rank() == 2, "analytic_columns expects (nz, nx)");
+  const std::int64_t nz = rf.dim(0), nx = rf.dim(1);
+  Tensor iq({nz, nx, 2});
+  parallel_for_each(0, static_cast<std::size_t>(nx), [&](std::size_t xi) {
+    std::vector<float> col(static_cast<std::size_t>(nz));
+    for (std::int64_t z = 0; z < nz; ++z)
+      col[static_cast<std::size_t>(z)] =
+          rf.raw()[z * nx + static_cast<std::int64_t>(xi)];
+    const auto a = analytic_signal(col);
+    for (std::int64_t z = 0; z < nz; ++z) {
+      const auto& v = a[static_cast<std::size_t>(z)];
+      iq.raw()[(z * nx + static_cast<std::int64_t>(xi)) * 2] =
+          static_cast<float>(v.real());
+      iq.raw()[(z * nx + static_cast<std::int64_t>(xi)) * 2 + 1] =
+          static_cast<float>(v.imag());
+    }
+  }, /*min_grain=*/8);
+  return iq;
+}
+
 Tensor envelope_iq(const Tensor& iq) {
   TVBF_REQUIRE(iq.rank() == 3 && iq.dim(2) == 2,
                "envelope_iq expects (nz, nx, 2), got " + to_string(iq.shape()));

@@ -30,6 +30,11 @@ std::vector<std::complex<double>> iq_demodulate(std::span<const float> x,
 /// each column is an axial RF line; output (nz, nx) envelope.
 Tensor envelope_columns(const Tensor& rf);
 
+/// Per-column analytic signal of an image of beamformed RF: input (nz, nx),
+/// output interleaved IQ (nz, nx, 2). This is the shared RF -> IQ stage of
+/// DAS, the learned-model adapters and compounded frames.
+Tensor analytic_columns(const Tensor& rf);
+
 /// Envelope of an IQ image stored (nz, nx, 2): out = sqrt(I^2 + Q^2).
 Tensor envelope_iq(const Tensor& iq);
 

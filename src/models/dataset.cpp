@@ -1,6 +1,7 @@
 #include "models/dataset.hpp"
 
 #include "dsp/hilbert.hpp"
+#include "runtime/plan_cache.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "us/tof.hpp"
 
@@ -12,13 +13,17 @@ TrainingFrame make_frame(const us::Probe& probe, const us::ImagingGrid& grid,
   const us::Acquisition acq = us::simulate_plane_wave(
       probe, phantom, params.steering_angle_rad, params.sim);
 
+  // One cached ToF plan serves both cubes of this frame and — because
+  // every frame of a training set shares (probe, grid, angle, RF length) —
+  // the whole corpus; only the per-frame sampling work remains.
+  const auto plan = rt::PlanCache::instance().get_for(acq, grid);
+
   // Network input: RF-only ToF cube, normalized.
-  us::TofCube rf_cube = us::tof_correct(acq, grid, {});
+  us::TofCube rf_cube = plan->apply(acq, /*analytic=*/false);
   us::normalize_cube(rf_cube);
 
   // Label: MVDR on the analytic cube.
-  const us::TofCube iq_cube =
-      us::tof_correct(acq, grid, {.analytic = true});
+  const us::TofCube iq_cube = plan->apply(acq, /*analytic=*/true);
   const bf::MvdrBeamformer mvdr(params.mvdr);
   Tensor target = mvdr.beamform(iq_cube);
   // Normalize the label to unit peak magnitude so the MSE scale is frame

@@ -1,6 +1,5 @@
 #include "models/neural_beamformer.hpp"
 
-#include "common/parallel.hpp"
 #include "dsp/hilbert.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -18,23 +17,7 @@ Tensor normalized_input(const us::TofCube& cube) {
 }
 
 Tensor rf_image_to_iq(const Tensor& rf) {
-  TVBF_REQUIRE(rf.rank() == 2, "rf_image_to_iq expects (nz, nx)");
-  const std::int64_t nz = rf.dim(0), nx = rf.dim(1);
-  Tensor iq({nz, nx, 2});
-  parallel_for_each(0, static_cast<std::size_t>(nx), [&](std::size_t xi) {
-    std::vector<float> col(static_cast<std::size_t>(nz));
-    for (std::int64_t z = 0; z < nz; ++z)
-      col[static_cast<std::size_t>(z)] =
-          rf.raw()[z * nx + static_cast<std::int64_t>(xi)];
-    const auto a = dsp::analytic_signal(col);
-    for (std::int64_t z = 0; z < nz; ++z) {
-      iq.raw()[(z * nx + static_cast<std::int64_t>(xi)) * 2] =
-          static_cast<float>(a[static_cast<std::size_t>(z)].real());
-      iq.raw()[(z * nx + static_cast<std::int64_t>(xi)) * 2 + 1] =
-          static_cast<float>(a[static_cast<std::size_t>(z)].imag());
-    }
-  }, /*min_grain=*/1);
-  return iq;
+  return dsp::analytic_columns(rf);
 }
 
 TinyVbfBeamformer::TinyVbfBeamformer(std::shared_ptr<const TinyVbf> model)

@@ -1,0 +1,97 @@
+#include "runtime/frame_source.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace tvbf::rt {
+
+ReplaySource::ReplaySource(std::vector<us::Acquisition> acquisitions,
+                           std::int64_t total_frames, double frame_rate_hz)
+    : acquisitions_(std::move(acquisitions)) {
+  TVBF_REQUIRE(!acquisitions_.empty(), "replay source needs acquisitions");
+  TVBF_REQUIRE(frame_rate_hz > 0.0, "frame rate must be positive");
+  for (const auto& acq : acquisitions_) {
+    TVBF_REQUIRE(acq.rf.rank() == 2 && acq.num_samples() > 1,
+                 "replay acquisition holds no RF data");
+    TVBF_REQUIRE(
+        acq.probe.num_elements == acquisitions_.front().probe.num_elements,
+        "replay acquisitions use different probes");
+  }
+  total_frames_ = total_frames < 0
+                      ? static_cast<std::int64_t>(acquisitions_.size())
+                      : total_frames;
+  frame_interval_s_ = 1.0 / frame_rate_hz;
+}
+
+const us::Probe& ReplaySource::probe() const {
+  return acquisitions_.front().probe;
+}
+
+bool ReplaySource::next(Frame& frame) {
+  if (produced_ >= total_frames_) return false;
+  frame.index = produced_;
+  frame.time_s = static_cast<double>(produced_) * frame_interval_s_;
+  frame.acq = acquisitions_[static_cast<std::size_t>(
+      produced_ % static_cast<std::int64_t>(acquisitions_.size()))];
+  ++produced_;
+  return true;
+}
+
+CineSource::CineSource(us::Probe probe, us::Phantom base, CineParams params)
+    : probe_(std::move(probe)), base_(std::move(base)),
+      params_(std::move(params)) {
+  probe_.validate();
+  TVBF_REQUIRE(params_.num_frames >= 1, "cine needs at least one frame");
+  TVBF_REQUIRE(params_.frame_rate_hz > 0.0, "frame rate must be positive");
+  TVBF_REQUIRE(params_.axial_period_s > 0.0, "axial period must be positive");
+  TVBF_REQUIRE(!base_.scatterers.empty(), "cine phantom is empty");
+}
+
+us::Phantom CineSource::phantom_at(double time_s) const {
+  const double shift_x = params_.lateral_speed_m_s * time_s;
+  const double shift_z =
+      params_.axial_amplitude_m *
+      std::sin(2.0 * M_PI * time_s / params_.axial_period_s);
+  const double width = base_.region.width();
+  // Wrap laterally inside the region so a drifting phantom loops forever;
+  // axial motion is a bounded oscillation and needs no wrapping.
+  auto wrap_x = [&](double x) {
+    if (width <= 0.0) return x;
+    double u = std::fmod(x + shift_x - base_.region.x_min, width);
+    if (u < 0.0) u += width;
+    return base_.region.x_min + u;
+  };
+  us::Phantom moved = base_;
+  for (auto& s : moved.scatterers) {
+    s.x = wrap_x(s.x);
+    s.z += shift_z;
+  }
+  for (auto& c : moved.cysts) {
+    c.x = wrap_x(c.x);
+    c.z += shift_z;
+  }
+  for (auto& p : moved.points) {
+    p.x = wrap_x(p.x);
+    p.z += shift_z;
+  }
+  return moved;
+}
+
+bool CineSource::next(Frame& frame) {
+  if (produced_ >= params_.num_frames) return false;
+  const double t = static_cast<double>(produced_) / params_.frame_rate_hz;
+  us::SimParams sim = params_.sim;
+  if (params_.reseed_noise_per_frame)
+    sim.seed = params_.sim.seed + 0x9e3779b9u * static_cast<std::uint64_t>(
+                                                    produced_ + 1);
+  frame.index = produced_;
+  frame.time_s = t;
+  frame.acq = us::simulate_plane_wave(probe_, phantom_at(t),
+                                      params_.steering_angle_rad, sim);
+  ++produced_;
+  return true;
+}
+
+}  // namespace tvbf::rt

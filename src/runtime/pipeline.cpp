@@ -1,0 +1,171 @@
+#include "runtime/pipeline.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/timer.hpp"
+#include "dsp/hilbert.hpp"
+#include "runtime/plan_cache.hpp"
+#include "us/tof.hpp"
+
+namespace tvbf::rt {
+
+namespace {
+// Stage indices into PipelineReport::stages.
+enum Stage : std::size_t { kSource, kTof, kBeamform, kPost, kSink };
+}  // namespace
+
+void StageStats::record(double seconds) {
+  ++frames;
+  total_s += seconds;
+  min_s = std::min(min_s, seconds);
+  max_s = std::max(max_s, seconds);
+}
+
+const StageStats& PipelineReport::stage(const std::string& name) const {
+  for (const auto& s : stages)
+    if (s.name == name) return s;
+  throw InvalidArgument("no pipeline stage named '" + name + "'");
+}
+
+Pipeline::Pipeline(std::shared_ptr<FrameSource> source,
+                   std::shared_ptr<const bf::Beamformer> beamformer,
+                   PipelineConfig config)
+    : source_(std::move(source)), beamformer_(std::move(beamformer)),
+      config_(std::move(config)) {
+  TVBF_REQUIRE(source_ != nullptr, "pipeline needs a frame source");
+  TVBF_REQUIRE(beamformer_ != nullptr, "pipeline needs a beamformer");
+  config_.grid.validate();
+  TVBF_REQUIRE(config_.dynamic_range_db > 0.0,
+               "dynamic range must be positive");
+}
+
+void Pipeline::process_frame(Frame& frame, const Sink& sink,
+                             PipelineReport& report) {
+  Timer t;
+  if (config_.use_plan_cache) {
+    // The cache makes repeated keys O(1); holding the shared_ptr keeps the
+    // stream's plan alive even if a larger working set evicts it.
+    plan_ = PlanCache::instance().get_for(frame.acq, config_.grid,
+                                          config_.tof.interp);
+    plan_->apply(frame.acq, config_.tof.analytic, cube_, &workspace_);
+  } else {
+    cube_ = us::tof_correct(frame.acq, config_.grid, config_.tof);
+  }
+  report.stages[kTof].record(t.seconds());
+
+  t.reset();
+  iq_ = beamformer_->beamform(cube_);
+  report.stages[kBeamform].record(t.seconds());
+
+  t.reset();
+  envelope_ = dsp::envelope_iq(iq_);
+  db_ = dsp::log_compress(envelope_, config_.dynamic_range_db);
+  report.stages[kPost].record(t.seconds());
+
+  t.reset();
+  if (sink) {
+    const FrameOutput out{frame.index, frame.time_s, iq_, envelope_, db_};
+    sink(out);
+  }
+  report.stages[kSink].record(t.seconds());
+  ++report.frames;
+}
+
+PipelineReport Pipeline::run(const Sink& sink) {
+  PipelineReport report;
+  for (const char* name : {"source", "tof", "beamform", "postprocess", "sink"})
+    report.stages.push_back(StageStats{.name = name});
+
+  const auto cache_before = PlanCache::instance().stats();
+  source_->reset();
+  Timer wall;
+
+  if (!config_.overlap) {
+    Frame frame;
+    while (true) {
+      Timer t;
+      const bool have = source_->next(frame);
+      if (!have) break;
+      report.stages[kSource].record(t.seconds());
+      process_frame(frame, sink, report);
+    }
+  } else {
+    // Producer/consumer with a depth-2 queue: the source acquires frame
+    // k+1 while this thread processes frame k. Both sides may issue
+    // parallel_for jobs; the pool serializes top-level jobs, so overlap
+    // shrinks wall time whenever either side has serial work (RF copy,
+    // FFT setup, sink I/O) and never changes results.
+    constexpr std::size_t kQueueDepth = 2;
+    std::mutex mu;
+    std::condition_variable cv_space, cv_data;
+    std::deque<Frame> queue;
+    bool done = false;
+    bool stop = false;
+    std::exception_ptr source_error;
+    StageStats source_stats{.name = "source"};
+
+    std::thread producer([&] {
+      try {
+        while (true) {
+          Frame frame;
+          Timer t;
+          const bool have = source_->next(frame);
+          if (!have) break;
+          source_stats.record(t.seconds());
+          std::unique_lock<std::mutex> lock(mu);
+          cv_space.wait(lock,
+                        [&] { return queue.size() < kQueueDepth || stop; });
+          if (stop) break;
+          queue.push_back(std::move(frame));
+          cv_data.notify_one();
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mu);
+        source_error = std::current_exception();
+      }
+      const std::lock_guard<std::mutex> lock(mu);
+      done = true;
+      cv_data.notify_all();
+    });
+
+    try {
+      while (true) {
+        Frame frame;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv_data.wait(lock, [&] { return !queue.empty() || done; });
+          if (queue.empty()) break;
+          frame = std::move(queue.front());
+          queue.pop_front();
+          cv_space.notify_one();
+        }
+        process_frame(frame, sink, report);
+      }
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        stop = true;
+        cv_space.notify_all();
+      }
+      producer.join();
+      throw;
+    }
+    producer.join();
+    if (source_error) std::rethrow_exception(source_error);
+    report.stages[kSource] = source_stats;
+  }
+
+  report.wall_s = wall.seconds();
+  const auto cache_after = PlanCache::instance().stats();
+  report.plan_cache_hits = cache_after.hits - cache_before.hits;
+  report.plan_cache_misses = cache_after.misses - cache_before.misses;
+  return report;
+}
+
+}  // namespace tvbf::rt

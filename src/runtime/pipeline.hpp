@@ -1,0 +1,110 @@
+// Streaming image-formation pipeline.
+//
+// Chains source -> ToF apply (cached plan) -> Beamformer -> envelope /
+// log-compression -> sink over reusable frame buffers, with optional
+// producer/consumer overlap: the next frame is acquired (simulated or
+// replayed) while the current one is beamformed, both sides sharing the
+// process-wide thread pool. Per-stage latency statistics and plan-cache
+// counters come back in a PipelineReport, which is how bench_pipeline
+// quantifies the plan-caching win over per-frame us::tof_correct.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "beamform/beamformer.hpp"
+#include "runtime/frame_source.hpp"
+#include "runtime/tof_plan.hpp"
+
+namespace tvbf::rt {
+
+/// Pipeline controls.
+struct PipelineConfig {
+  us::ImagingGrid grid;
+  us::TofParams tof;  ///< interp flavor + cube kind the beamformer needs
+  double dynamic_range_db = 60.0;
+  /// When true, ToF correction runs through the global PlanCache; when
+  /// false every frame pays the full us::tof_correct geometry pass (the
+  /// pre-streaming baseline, kept for A/B benchmarking).
+  bool use_plan_cache = true;
+  /// Acquire frame k+1 on a producer thread while frame k is processed.
+  bool overlap = true;
+};
+
+/// Latency accumulator for one pipeline stage.
+struct StageStats {
+  std::string name;
+  std::int64_t frames = 0;
+  double total_s = 0.0;
+  double min_s = std::numeric_limits<double>::infinity();
+  double max_s = 0.0;
+
+  double mean_s() const { return frames > 0 ? total_s / static_cast<double>(frames) : 0.0; }
+  void record(double seconds);
+};
+
+/// What one pipeline run did.
+struct PipelineReport {
+  std::int64_t frames = 0;
+  double wall_s = 0.0;
+  /// source, tof, beamform, postprocess, sink — in flow order. With
+  /// overlap the source stage runs concurrently, so stage totals can
+  /// exceed wall_s.
+  std::vector<StageStats> stages;
+  std::uint64_t plan_cache_hits = 0;    ///< delta over this run
+  std::uint64_t plan_cache_misses = 0;  ///< delta over this run
+
+  double fps() const { return wall_s > 0.0 ? static_cast<double>(frames) / wall_s : 0.0; }
+  const StageStats& stage(const std::string& name) const;
+};
+
+/// Per-frame result handed to the sink. The references point at
+/// pipeline-owned buffers that are overwritten by the next frame; Tensor
+/// copies are deep, so assigning e.g. `out.db` to a local keeps the data.
+struct FrameOutput {
+  std::int64_t index = 0;
+  double time_s = 0.0;
+  const Tensor& iq;        ///< (nz, nx, 2) beamformed IQ
+  const Tensor& envelope;  ///< (nz, nx)
+  const Tensor& db;        ///< (nz, nx) log-compressed B-mode
+};
+
+/// Drives frames from a source through ToF correction, a beamformer and
+/// envelope/log-compression, invoking the sink once per frame.
+class Pipeline {
+ public:
+  using Sink = std::function<void(const FrameOutput&)>;
+
+  /// The beamformer must accept the cube flavor `config.tof` produces
+  /// (analytic for MVDR/CF, RF for DAS and the learned models).
+  Pipeline(std::shared_ptr<FrameSource> source,
+           std::shared_ptr<const bf::Beamformer> beamformer,
+           PipelineConfig config);
+
+  /// Runs the source dry, calling `sink` (when set) once per frame on the
+  /// driving thread, in frame order. Source exceptions and sink/stage
+  /// exceptions propagate to the caller.
+  PipelineReport run(const Sink& sink = {});
+
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  void process_frame(Frame& frame, const Sink& sink, PipelineReport& report);
+
+  std::shared_ptr<FrameSource> source_;
+  std::shared_ptr<const bf::Beamformer> beamformer_;
+  PipelineConfig config_;
+
+  // Frame state. The ToF cube and channel workspace — the large buffers —
+  // are reused across frames; the beamformer/postprocess stages still
+  // return fresh image-sized tensors per frame.
+  us::TofCube cube_;
+  ChannelWorkspace workspace_;
+  std::shared_ptr<const TofPlan> plan_;
+  Tensor iq_, envelope_, db_;
+};
+
+}  // namespace tvbf::rt

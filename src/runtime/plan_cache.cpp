@@ -1,0 +1,129 @@
+#include "runtime/plan_cache.hpp"
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace tvbf::rt {
+
+namespace {
+constexpr std::size_t kDefaultCapacityBytes = 768ull << 20;
+
+struct KeyHasher {
+  std::size_t operator()(const TofPlanKey& k) const { return hash_key(k); }
+};
+}  // namespace
+
+struct PlanCache::Impl {
+  using Entry = std::pair<TofPlanKey, std::shared_ptr<const TofPlan>>;
+
+  mutable std::mutex mu;
+  std::size_t capacity = kDefaultCapacityBytes;
+  std::size_t bytes = 0;
+  std::uint64_t hits = 0, misses = 0, evictions = 0;
+  std::list<Entry> lru;  // front = most recently used
+  std::unordered_map<TofPlanKey, std::list<Entry>::iterator, KeyHasher> map;
+
+  // Evicts from the back until the budget is met. Caller holds mu.
+  void evict_to_fit() {
+    while (bytes > capacity && !lru.empty()) {
+      const Entry& victim = lru.back();
+      bytes -= victim.second->bytes();
+      map.erase(victim.first);
+      lru.pop_back();
+      ++evictions;
+    }
+  }
+};
+
+PlanCache::PlanCache() : impl_(std::make_unique<Impl>()) {}
+PlanCache::~PlanCache() = default;
+
+PlanCache& PlanCache::instance() {
+  static PlanCache cache;
+  return cache;
+}
+
+std::shared_ptr<const TofPlan> PlanCache::get(const us::Probe& probe,
+                                              const us::ImagingGrid& grid,
+                                              double steering_angle_rad,
+                                              double t0,
+                                              std::int64_t n_samples,
+                                              dsp::Interp interp) {
+  TofPlanKey key;
+  key.num_elements = probe.num_elements;
+  key.pitch = probe.pitch;
+  key.sampling_frequency = probe.sampling_frequency;
+  key.sound_speed = probe.sound_speed;
+  key.steering_angle_rad = steering_angle_rad;
+  key.t0 = t0;
+  key.n_samples = n_samples;
+  key.grid = grid;
+  key.interp = interp;
+
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    if (const auto it = impl_->map.find(key); it != impl_->map.end()) {
+      ++impl_->hits;
+      impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+      return it->second->second;
+    }
+    ++impl_->misses;
+  }
+  // Built outside the lock so a slow paper-scale geometry pass never stalls
+  // O(1) hits on other keys; a concurrent miss on the same key duplicates
+  // the build (rare) and the first insertion wins below.
+  auto plan = std::make_shared<const TofPlan>(
+      TofPlan::build(probe, grid, steering_angle_rad, t0, n_samples, interp));
+  const std::size_t plan_bytes = plan->bytes();
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  if (const auto it = impl_->map.find(key); it != impl_->map.end())
+    return it->second->second;  // another thread built it meanwhile
+  if (plan_bytes <= impl_->capacity) {
+    impl_->lru.emplace_front(key, plan);
+    impl_->map.emplace(key, impl_->lru.begin());
+    impl_->bytes += plan_bytes;
+    impl_->evict_to_fit();
+  }
+  return plan;
+}
+
+std::shared_ptr<const TofPlan> PlanCache::get_for(const us::Acquisition& acq,
+                                                  const us::ImagingGrid& grid,
+                                                  dsp::Interp interp) {
+  TVBF_REQUIRE(acq.rf.rank() == 2 && acq.num_samples() > 1,
+               "acquisition holds no RF data");
+  TVBF_REQUIRE(acq.num_channels() == acq.probe.num_elements,
+               "RF channel count does not match the probe");
+  return get(acq.probe, grid, acq.steering_angle_rad, acq.t0,
+             acq.num_samples(), interp);
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Stats s;
+  s.hits = impl_->hits;
+  s.misses = impl_->misses;
+  s.evictions = impl_->evictions;
+  s.bytes = impl_->bytes;
+  s.entries = impl_->lru.size();
+  s.capacity_bytes = impl_->capacity;
+  return s;
+}
+
+void PlanCache::set_capacity(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->capacity = bytes;
+  impl_->evict_to_fit();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->lru.clear();
+  impl_->map.clear();
+  impl_->bytes = 0;
+  impl_->hits = impl_->misses = impl_->evictions = 0;
+}
+
+}  // namespace tvbf::rt

@@ -1,0 +1,72 @@
+// Process-wide LRU cache of ToF plans.
+//
+// Plans are pure functions of their key, so one global cache serves every
+// consumer: the streaming pipeline (one plan per cine sequence), coherent
+// compounding (one plan per steering angle, reused across frames) and
+// training-set generation (one plan for the whole corpus, applied to both
+// the RF and the analytic cube of every frame). Entries are evicted
+// least-recently-used by byte footprint; handed-out shared_ptrs keep
+// evicted plans alive for callers still holding them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "runtime/tof_plan.hpp"
+
+namespace tvbf::rt {
+
+/// Global ToF-plan cache. All methods are thread-safe; a miss builds the
+/// plan outside the cache lock (hits on other keys are never stalled by a
+/// build; racing misses on one key may duplicate the build, first insert
+/// wins).
+class PlanCache {
+ public:
+  /// The process-wide instance.
+  static PlanCache& instance();
+
+  /// Cache usage counters (cumulative since construction or clear()).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t bytes = 0;          ///< current resident plan bytes
+    std::size_t entries = 0;        ///< current resident plan count
+    std::size_t capacity_bytes = 0;
+  };
+
+  /// Returns the cached plan for the key, building it on a miss. Plans
+  /// larger than the whole capacity are built and returned but not
+  /// retained.
+  std::shared_ptr<const TofPlan> get(const us::Probe& probe,
+                                     const us::ImagingGrid& grid,
+                                     double steering_angle_rad, double t0,
+                                     std::int64_t n_samples,
+                                     dsp::Interp interp = dsp::Interp::kLinear);
+
+  /// Convenience overload deriving the key from an acquisition.
+  std::shared_ptr<const TofPlan> get_for(
+      const us::Acquisition& acq, const us::ImagingGrid& grid,
+      dsp::Interp interp = dsp::Interp::kLinear);
+
+  Stats stats() const;
+
+  /// Sets the byte budget (evicting immediately if over it). The default
+  /// of 768 MiB fits a paper-scale 11-angle compounding working set.
+  void set_capacity(std::size_t bytes);
+
+  /// Drops every entry and resets the counters.
+  void clear();
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+ private:
+  PlanCache();
+  ~PlanCache();
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tvbf::rt

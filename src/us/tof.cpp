@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
-#include "common/parallel.hpp"
-#include "dsp/hilbert.hpp"
+#include "runtime/tof_plan.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace tvbf::us {
@@ -62,72 +60,12 @@ double two_way_delay(double x, double z, double xe, double sin_theta,
 TofCube tof_correct(const Acquisition& acq, const ImagingGrid& grid,
                     const TofParams& params) {
   grid.validate();
-  TVBF_REQUIRE(acq.rf.rank() == 2 && acq.num_samples() > 1,
-               "acquisition holds no RF data");
-  const std::int64_t n_samples = acq.num_samples();
-  const std::int64_t n_ch = acq.num_channels();
-  TVBF_REQUIRE(n_ch == acq.probe.num_elements,
-               "RF channel count does not match the probe");
-
-  const double fs = acq.probe.sampling_frequency;
-  const double c = acq.probe.sound_speed;
-  const auto xs = acq.probe.element_positions();
-  const double sin_th = std::sin(acq.steering_angle_rad);
-  const double cos_th = std::cos(acq.steering_angle_rad);
-  const double tx_offset =
-      sin_th >= 0.0 ? xs.front() * sin_th : xs.back() * sin_th;
-
-  // Re-layout channel data as (nch, nsamples) so per-channel interpolation
-  // reads contiguously; optionally build the analytic signal per channel.
-  std::vector<std::vector<float>> ch_re(static_cast<std::size_t>(n_ch));
-  std::vector<std::vector<float>> ch_im;
-  if (params.analytic) ch_im.resize(static_cast<std::size_t>(n_ch));
-  parallel_for_each(0, static_cast<std::size_t>(n_ch), [&](std::size_t e) {
-    std::vector<float> line(static_cast<std::size_t>(n_samples));
-    for (std::int64_t i = 0; i < n_samples; ++i)
-      line[static_cast<std::size_t>(i)] =
-          acq.rf.raw()[i * n_ch + static_cast<std::int64_t>(e)];
-    if (params.analytic) {
-      const auto a = dsp::analytic_signal(line);
-      ch_re[e].resize(a.size());
-      ch_im[e].resize(a.size());
-      for (std::size_t i = 0; i < a.size(); ++i) {
-        ch_re[e][i] = static_cast<float>(a[i].real());
-        ch_im[e][i] = static_cast<float>(a[i].imag());
-      }
-    } else {
-      ch_re[e] = std::move(line);
-    }
-  }, /*min_grain=*/1);
-
-  TofCube cube;
-  cube.grid = grid;
-  cube.real = Tensor({grid.nz, grid.nx, n_ch});
-  if (params.analytic) cube.imag = Tensor({grid.nz, grid.nx, n_ch});
-
-  parallel_for_each(0, static_cast<std::size_t>(grid.nz), [&](std::size_t zi) {
-    const auto iz = static_cast<std::int64_t>(zi);
-    const double z = grid.z_at(iz);
-    for (std::int64_t ix = 0; ix < grid.nx; ++ix) {
-      const double x = grid.x_at(ix);
-      float* out_re = cube.real.raw() + (iz * grid.nx + ix) * n_ch;
-      float* out_im =
-          params.analytic ? cube.imag.raw() + (iz * grid.nx + ix) * n_ch
-                          : nullptr;
-      for (std::int64_t e = 0; e < n_ch; ++e) {
-        const double tau = two_way_delay(
-            x, z, xs[static_cast<std::size_t>(e)], sin_th, cos_th, tx_offset, c);
-        const double idx = (tau - acq.t0) * fs;
-        out_re[e] = dsp::interp(ch_re[static_cast<std::size_t>(e)], idx,
-                                params.interp);
-        if (out_im != nullptr)
-          out_im[e] = dsp::interp(ch_im[static_cast<std::size_t>(e)], idx,
-                                  params.interp);
-      }
-    }
-  }, /*min_grain=*/1);
-
-  return cube;
+  // One-shot path: build the geometric plan and apply it to this frame.
+  // Streaming callers (runtime pipeline, compounding, dataset generation)
+  // fetch the same plan from rt::PlanCache instead and amortize the build
+  // across frames; results are identical either way.
+  const rt::TofPlan plan = rt::TofPlan::build_for(acq, grid, params.interp);
+  return plan.apply(acq, params.analytic);
 }
 
 float normalize_cube(TofCube& cube) {

@@ -279,6 +279,45 @@ TEST(Grid, PaperDimensionsAndMapping) {
   EXPECT_NO_THROW(g.validate());
 }
 
+TEST(Grid, ColumnAndRowClampToEdges) {
+  const ImagingGrid g = ImagingGrid::reduced(Probe::test_probe(16), 64, 32);
+  // Far outside on both sides: clamped to the first/last pixel.
+  EXPECT_EQ(g.column_of(g.x0 - 1.0), 0);
+  EXPECT_EQ(g.column_of(g.x_end() + 1.0), g.nx - 1);
+  EXPECT_EQ(g.row_of(0.0), 0);
+  EXPECT_EQ(g.row_of(g.z_end() + 1.0), g.nz - 1);
+  // Just beyond the last pixel by half a spacing still clamps.
+  EXPECT_EQ(g.column_of(g.x_end() + 10.0 * g.dx), g.nx - 1);
+  EXPECT_EQ(g.row_of(g.z0 - 10.0 * g.dz), 0);
+  // Nearest-neighbor rounding between pixels.
+  EXPECT_EQ(g.column_of(g.x_at(3) + 0.49 * g.dx), 3);
+  EXPECT_EQ(g.column_of(g.x_at(3) + 0.51 * g.dx), 4);
+  EXPECT_EQ(g.row_of(g.z_at(7) + 0.49 * g.dz), 7);
+  EXPECT_EQ(g.row_of(g.z_at(7) + 0.51 * g.dz), 8);
+}
+
+TEST(Grid, OnePixelGridIsValid) {
+  ImagingGrid g;
+  g.nx = 1;
+  g.nz = 1;
+  g.x0 = 2e-3;
+  g.z0 = 20e-3;
+  g.dx = 0.3e-3;
+  g.dz = 0.1e-3;
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.num_pixels(), 1);
+  EXPECT_EQ(g.x_end(), g.x0);
+  EXPECT_EQ(g.z_end(), g.z0);
+  // Every query lands on the only pixel.
+  for (const double x : {-1.0, g.x0, g.x0 + 5.0 * g.dx, 1.0})
+    EXPECT_EQ(g.column_of(x), 0);
+  for (const double z : {1e-6, g.z0, g.z0 + 5.0 * g.dz, 1.0})
+    EXPECT_EQ(g.row_of(z), 0);
+  // The factory helpers still require >= 2 pixels per axis.
+  EXPECT_THROW(ImagingGrid::reduced(Probe::test_probe(16), 1, 1),
+               InvalidArgument);
+}
+
 TEST(Grid, ReducedAndValidation) {
   const Probe probe = Probe::test_probe(16);
   const ImagingGrid g = ImagingGrid::reduced(probe, 64, 32, 8e-3, 30e-3);
