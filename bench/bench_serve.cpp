@@ -1,0 +1,257 @@
+// Multi-session serving benchmark: quantifies the two serving-layer wins.
+//
+// Part 1 runs N concurrent DAS sessions through the Server (round-robin
+// scheduling, per-session frame state, block backpressure) against the
+// baseline of running the same N sessions sequentially as solo Pipelines on
+// the same pool — the aggregate-throughput question a multi-client scanner
+// server has to answer. Part 2 runs N sessions of the learned Tiny-VBF
+// beamformer through the same inference engine one-frame-at-a-time
+// (max_batch 1) and cross-session batched — the batcher stacks every ready
+// frame into one forward pass, amortizing per-pass fixed cost (autograd
+// graph, GEMM packing, pool fan-out) the way the PlanCache amortizes
+// geometry. Part 3 checks
+// that served per-session output stays bit-identical to a solo
+// Pipeline::run of the same source, DAS and Tiny-VBF alike.
+//
+//   ./bench_serve [--sessions N] [--frames N] [--full]
+//
+// Defaults to the reduced scene (32 channels, 192 x 64 grid); --full runs
+// the paper-scale frame (128 channels, 368 x 128).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "beamform/das.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "models/neural_beamformer.hpp"
+#include "models/tiny_vbf.hpp"
+#include "runtime/pipeline.hpp"
+#include "runtime/plan_cache.hpp"
+#include "serve/server.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "us/phantom.hpp"
+#include "us/tof.hpp"
+
+namespace {
+
+void print_usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--sessions N] [--frames N] [--full] [--help]\n"
+      "  --sessions N  concurrent imaging sessions (default 8)\n"
+      "  --frames N    frames per session and part (default 12)\n"
+      "  --full        paper-scale frame (128 channels, 368 x 128 grid)\n"
+      "                instead of the reduced bench scale\n"
+      "  --help        show this message\n",
+      argv0);
+}
+
+struct SessionFps {
+  double min_fps = 0.0;
+  double max_fps = 0.0;
+};
+
+SessionFps session_spread(const tvbf::serve::ServerReport& report) {
+  SessionFps s;
+  bool first = true;
+  for (const auto& sess : report.sessions) {
+    const double fps =
+        report.wall_s > 0.0
+            ? static_cast<double>(sess.frames) / report.wall_s
+            : 0.0;
+    if (first || fps < s.min_fps) s.min_fps = fps;
+    if (first || fps > s.max_fps) s.max_fps = fps;
+    first = false;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tvbf;
+  serve::tune_allocator();  // serving-process malloc tuning (see header)
+  int num_sessions = 8;
+  std::int64_t frames = 12;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage(argv[0]);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      num_sessions = std::atoi(argv[++i]);
+      if (num_sessions < 1) {
+        std::fprintf(stderr, "%s: --sessions needs a positive count\n",
+                     argv[0]);
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
+      frames = std::atoll(argv[++i]);
+      if (frames < 1) {
+        std::fprintf(stderr, "%s: --frames needs a positive count\n", argv[0]);
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
+      print_usage(argv[0]);
+      return 1;
+    }
+  }
+
+  const us::Probe probe =
+      full ? us::Probe::l11_5v() : us::Probe::test_probe(32);
+  const us::ImagingGrid grid = full ? us::ImagingGrid::paper(probe)
+                                    : us::ImagingGrid::reduced(probe, 192, 64);
+  std::printf("scene: %lld channels, %lld x %lld grid (%s); %d sessions x "
+              "%lld frames; pool: %zu thread(s)\n",
+              static_cast<long long>(probe.num_elements),
+              static_cast<long long>(grid.nz),
+              static_cast<long long>(grid.nx),
+              full ? "paper scale" : "reduced",
+              num_sessions, static_cast<long long>(frames),
+              hardware_threads());
+
+  Rng rng(7);
+  us::Region region{grid.x0, grid.x_end(), grid.z0, grid.z_end()};
+  us::SpeckleOptions speckle;
+  speckle.density_per_mm2 = 0.5;
+  const us::Phantom phantom = us::make_contrast_phantom(
+      rng, {0.35 * grid.z_end(), 0.7 * grid.z_end()}, 2.5e-3, region, speckle);
+  us::SimParams sim = us::SimParams::in_silico();
+  sim.max_depth = grid.z_end() + 3e-3;
+  Timer t;
+  const us::Acquisition acq = us::simulate_plane_wave(probe, phantom, 0.0, sim);
+  std::printf("simulated %lld samples x %lld channels in %.2f s\n\n",
+              static_cast<long long>(acq.num_samples()),
+              static_cast<long long>(acq.num_channels()), t.seconds());
+
+  auto das = std::make_shared<bf::DasBeamformer>(probe);
+  auto make_source = [&] {
+    return std::make_shared<rt::ReplaySource>(
+        std::vector<us::Acquisition>{acq}, frames);
+  };
+  rt::PipelineConfig cfg;
+  cfg.grid = grid;
+
+  // ---- part 1: N concurrent DAS sessions vs the same N run sequentially ----
+  rt::PlanCache::instance().clear();
+  {  // warm the plan cache so both lanes pay zero geometry passes
+    const auto plan = rt::PlanCache::instance().get_for(acq, grid);
+    (void)plan;
+  }
+
+  t.reset();
+  for (int s = 0; s < num_sessions; ++s) {
+    rt::Pipeline pipeline(make_source(), das, cfg);
+    pipeline.run();
+  }
+  const double sequential_s = t.seconds();
+  const double sequential_fps =
+      static_cast<double>(num_sessions) * static_cast<double>(frames) /
+      sequential_s;
+
+  serve::ServerConfig das_cfg;
+  // Pin throughput mode: this part measures the many-sessions regime where
+  // serialized per-worker frames are the designed configuration.
+  das_cfg.frame_parallelism = serve::FrameParallelism::kSerialPerWorker;
+  serve::Server server(das_cfg);
+  for (int s = 0; s < num_sessions; ++s)
+    server.add_session({make_source(), das, cfg, {}});
+  const serve::ServerReport das_report = server.run();
+  const SessionFps spread = session_spread(das_report);
+  const double das_ratio = das_report.aggregate_fps() / sequential_fps;
+
+  std::printf("DAS serving (%d sessions, aggregate frames/s):\n",
+              num_sessions);
+  std::printf("  sequential pipelines   %8.1f fps  (%.2f s)\n",
+              sequential_fps, sequential_s);
+  std::printf("  concurrent server      %8.1f fps  (%.2f s)  -> %.2fx\n",
+              das_report.aggregate_fps(), das_report.wall_s, das_ratio);
+  std::printf("  per-session fps spread %.1f .. %.1f (round-robin fairness)\n\n",
+              spread.min_fps, spread.max_fps);
+
+  // ---- part 2: cross-session batched Tiny-VBF inference --------------------
+  Rng model_rng(11);
+  const models::TinyVbfConfig vbf_cfg = models::TinyVbfConfig::test(
+      probe.num_elements, grid.nx);
+  auto model = std::make_shared<models::TinyVbf>(vbf_cfg, model_rng);
+  auto vbf = std::make_shared<models::TinyVbfBeamformer>(model);
+
+  // Both lanes run on the same inference engine; only the batch cap
+  // differs, so the ratio isolates cross-session stacking itself.
+  auto run_vbf = [&](std::size_t max_batch) {
+    serve::ServerConfig scfg;
+    scfg.max_batch = max_batch;
+    serve::Server vbf_server(scfg);
+    for (int s = 0; s < num_sessions; ++s)
+      vbf_server.add_session({make_source(), vbf, cfg, {}});
+    return vbf_server.run();
+  };
+  const serve::ServerReport unbatched = run_vbf(1);
+  const serve::ServerReport batched =
+      run_vbf(static_cast<std::size_t>(num_sessions));
+  const double batch_ratio =
+      batched.aggregate_fps() / unbatched.aggregate_fps();
+
+  std::printf("Tiny-VBF serving (%d sessions, aggregate frames/s):\n",
+              num_sessions);
+  std::printf("  one-at-a-time          %8.1f fps  (%.2f s)\n",
+              unbatched.aggregate_fps(), unbatched.wall_s);
+  std::printf("  cross-session batched  %8.1f fps  (%.2f s)  -> %.2fx\n",
+              batched.aggregate_fps(), batched.wall_s, batch_ratio);
+  std::printf("  batches: %lld, mean size %.1f, max %lld\n\n",
+              static_cast<long long>(batched.batches.batches),
+              batched.batches.mean_batch(),
+              static_cast<long long>(batched.batches.max_batch));
+
+  // ---- part 3: served output == solo pipeline output -----------------------
+  auto served_frame = [&](std::shared_ptr<const bf::Beamformer> beamformer) {
+    serve::Server check;
+    Tensor last;
+    check.add_session({make_source(), beamformer, cfg,
+                       [&](const rt::FrameOutput& out) { last = out.db; }});
+    check.run();
+    return last;
+  };
+  auto solo_frame = [&](std::shared_ptr<const bf::Beamformer> beamformer) {
+    rt::Pipeline pipeline(make_source(), std::move(beamformer), cfg);
+    Tensor last;
+    pipeline.run([&](const rt::FrameOutput& out) { last = out.db; });
+    return last;
+  };
+  const float das_diff = max_abs_diff(served_frame(das), solo_frame(das));
+  const float vbf_diff = max_abs_diff(served_frame(vbf), solo_frame(vbf));
+  const bool match = das_diff == 0.0f && vbf_diff == 0.0f;
+  std::printf("served vs solo B-mode: DAS max |diff| %.3g dB, Tiny-VBF max "
+              "|diff| %.3g dB -> %s\n",
+              static_cast<double>(das_diff), static_cast<double>(vbf_diff),
+              match ? "MATCH" : "MISMATCH");
+
+  // Gates. The concurrency ratio needs real cores; on single-core hosts the
+  // server cannot beat sequential and the gate is informational only.
+  bool ok = match;
+  if (hardware_threads() >= 4) {
+    if (das_ratio < 3.0) {
+      std::printf("WARNING: concurrent DAS serving below 3x sequential\n");
+      ok = false;
+    }
+  } else {
+    std::printf("note: %zu pool thread(s) — concurrency gate skipped "
+                "(needs >= 4 cores)\n",
+                hardware_threads());
+  }
+  if (hardware_threads() >= 4 && batch_ratio <= 1.0) {
+    // Stacking amortizes per-pass fixed cost; its pool fan-out share only
+    // exists with real worker threads, so the gate needs cores too.
+    std::printf("WARNING: batched inference did not beat one-at-a-time\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

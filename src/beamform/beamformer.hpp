@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "tensor/tensor.hpp"
 #include "us/tof.hpp"
@@ -24,6 +25,22 @@ class Beamformer {
   /// Forms the IQ image, shape (nz, nx, 2). Implementations document which
   /// cube flavor (RF-only or analytic) they require.
   virtual Tensor beamform(const us::TofCube& cube) const = 0;
+};
+
+/// Capability interface for beamformers whose per-depth-row computation is
+/// independent, so several frames' cubes can be stacked along the depth
+/// axis and formed in one pass (the serving layer's cross-session
+/// inference batcher dispatches through this). Contract: beamform_batch
+/// returns exactly what beamform would return per cube, bit for bit — the
+/// batch only amortizes per-pass setup (GEMM packing, graph allocation,
+/// thread fan-out). Methods with cross-row stages (e.g. a per-column
+/// Hilbert transform over the whole image) must not implement this.
+class BatchedBeamformer : public Beamformer {
+ public:
+  /// Forms every cube's IQ image in one pass. All cubes must share the
+  /// lateral extent and channel count; depth extents may differ.
+  virtual std::vector<Tensor> beamform_batch(
+      const std::vector<const us::TofCube*>& cubes) const = 0;
 };
 
 }  // namespace tvbf::bf

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -17,6 +19,9 @@ namespace {
 // top-level calling thread for the duration of a job, and permanently on
 // worker threads.
 thread_local bool in_parallel_region = false;
+
+// Fair-share tag of jobs submitted from this thread (0 = untagged).
+thread_local std::uint64_t current_job_tag = 0;
 
 /// Long-lived pool: workers block on a condition variable between jobs.
 /// A "job" is a shared chunked index range claimed via an atomic cursor.
@@ -32,9 +37,9 @@ class Pool {
   }
 
   void resize(std::size_t n) {
-    // Taking the jobs mutex first makes resizing safe against an in-flight
+    // Acquiring the job slot first makes resizing safe against an in-flight
     // job: the pool is only torn down between jobs.
-    std::lock_guard jobs_lock(jobs_mutex_);
+    const SlotGuard slot(*this, current_job_tag);
     shutdown();
     start(n);
   }
@@ -45,8 +50,9 @@ class Pool {
     // Serialize concurrent top-level callers: job_fn_/cursor_/pending_ are
     // one shared job slot, so without this two non-worker threads calling
     // parallel_for simultaneously would overwrite each other's job and
-    // silently compute garbage.
-    std::lock_guard jobs_lock(jobs_mutex_);
+    // silently compute garbage. Admission is round-robin across job tags,
+    // not arrival order — see acquire_slot().
+    const SlotGuard slot(*this, current_job_tag);
     {
       std::lock_guard lock(mutex_);
       job_begin_ = begin;
@@ -70,13 +76,73 @@ class Pool {
   Pool() { start(std::max<std::size_t>(1, std::thread::hardware_concurrency())); }
   ~Pool() { shutdown(); }
 
+  /// One waiting top-level caller of the job slot.
+  struct Waiter {
+    std::uint64_t tag = 0;
+    bool admitted = false;
+  };
+
+  /// Scoped ownership of the pool's single job slot.
+  class SlotGuard {
+   public:
+    SlotGuard(Pool& pool, std::uint64_t tag) : pool_(pool) {
+      pool_.acquire_slot(tag);
+    }
+    ~SlotGuard() { pool_.release_slot(); }
+    SlotGuard(const SlotGuard&) = delete;
+    SlotGuard& operator=(const SlotGuard&) = delete;
+
+   private:
+    Pool& pool_;
+  };
+
+  void acquire_slot(std::uint64_t tag) {
+    std::unique_lock lock(slot_mutex_);
+    if (!slot_busy_ && slot_waiters_.empty()) {
+      slot_busy_ = true;
+      slot_last_tag_ = tag;
+      return;
+    }
+    Waiter self{tag, false};
+    slot_waiters_.push_back(&self);
+    slot_cv_.wait(lock, [&] { return self.admitted; });
+  }
+
+  void release_slot() {
+    std::lock_guard lock(slot_mutex_);
+    if (slot_waiters_.empty()) {
+      slot_busy_ = false;
+      return;
+    }
+    // Round-robin across tags: admit the waiter whose tag is cyclically
+    // next after the last admitted tag (a waiter with the same tag goes
+    // last). Ties keep list order, i.e. FIFO within a tag.
+    auto best = slot_waiters_.begin();
+    std::uint64_t best_rank = std::numeric_limits<std::uint64_t>::max();
+    for (auto it = slot_waiters_.begin(); it != slot_waiters_.end(); ++it) {
+      const std::uint64_t distance = (*it)->tag - slot_last_tag_;  // wraps
+      const std::uint64_t rank =
+          distance == 0 ? std::numeric_limits<std::uint64_t>::max()
+                        : distance - 1;
+      if (rank < best_rank) {
+        best_rank = rank;
+        best = it;
+      }
+    }
+    Waiter* next = *best;
+    slot_waiters_.erase(best);
+    slot_last_tag_ = next->tag;
+    next->admitted = true;
+    slot_cv_.notify_all();
+  }
+
   void start(std::size_t n) {
     stop_ = false;
     const std::size_t workers = n > 0 ? n - 1 : 0;
     threads_.reserve(workers);
     // Seed each worker with the generation at spawn time (stable here:
-    // callers hold jobs_mutex_, and generation_ only advances inside run()
-    // under the same mutex). A worker starting from literal 0 after a
+    // callers hold the job slot, and generation_ only advances inside run()
+    // under the same slot). A worker starting from literal 0 after a
     // resize would see the persisted generation as a phantom "new job",
     // run work() against whatever job state exists, and corrupt pending_.
     for (std::size_t i = 0; i < workers; ++i) {
@@ -134,8 +200,13 @@ class Pool {
   }
 
   std::vector<std::thread> threads_;
-  /// Held for the full duration of run() and resize(): one job at a time.
-  std::mutex jobs_mutex_;
+  /// Job-slot admission state: one job at a time, held for the full
+  /// duration of run() and resize(), granted round-robin across tags.
+  std::mutex slot_mutex_;
+  std::condition_variable slot_cv_;
+  std::vector<Waiter*> slot_waiters_;
+  bool slot_busy_ = false;
+  std::uint64_t slot_last_tag_ = 0;
   /// Pool size snapshot; thread_count() must not touch threads_ itself, or
   /// it would race with a concurrent resize's vector surgery.
   std::atomic<std::size_t> size_{1};
@@ -160,9 +231,19 @@ std::size_t hardware_threads() {
   return Pool::instance().thread_count();
 }
 
+void set_job_tag(std::uint64_t tag) { current_job_tag = tag; }
+
+std::uint64_t job_tag() { return current_job_tag; }
+
+ScopedSerial::ScopedSerial() : previous_(in_parallel_region) {
+  in_parallel_region = true;
+}
+
+ScopedSerial::~ScopedSerial() { in_parallel_region = previous_; }
+
 void set_thread_count(std::size_t n) {
   // Resizing from inside a parallel_for body would self-deadlock: resize
-  // blocks on the jobs mutex held by the very run() waiting on this body.
+  // blocks on the job slot held by the very run() waiting on this body.
   TVBF_REQUIRE(!in_parallel_region,
                "set_thread_count must not be called from inside a "
                "parallel_for body or pool worker");

@@ -20,6 +20,41 @@ Tensor rf_image_to_iq(const Tensor& rf) {
   return dsp::analytic_columns(rf);
 }
 
+std::vector<Tensor> stacked_forward(
+    const std::vector<const Tensor*>& inputs,
+    const std::function<Tensor(const Tensor&)>& infer) {
+  TVBF_REQUIRE(!inputs.empty(), "infer_batch needs at least one frame");
+  TVBF_REQUIRE(inputs.front() != nullptr, "infer_batch got a null frame");
+  if (inputs.size() == 1) return {infer(*inputs.front())};
+  const Tensor stacked = concat0_all(inputs);
+  const Tensor out = infer(stacked);
+  std::vector<Tensor> results;
+  results.reserve(inputs.size());
+  std::int64_t row = 0;
+  for (const Tensor* in : inputs) {
+    const std::int64_t nz = in->dim(0);
+    results.push_back(slice0(out, row, row + nz));
+    row += nz;
+  }
+  return results;
+}
+
+std::vector<Tensor> beamform_batch_normalized(
+    const std::vector<const us::TofCube*>& cubes,
+    const std::function<std::vector<Tensor>(const std::vector<const Tensor*>&)>&
+        infer_batch) {
+  std::vector<Tensor> normalized;
+  normalized.reserve(cubes.size());
+  for (const us::TofCube* cube : cubes) {
+    TVBF_REQUIRE(cube != nullptr, "beamform_batch got a null cube");
+    normalized.push_back(normalized_input(*cube));
+  }
+  std::vector<const Tensor*> inputs;
+  inputs.reserve(normalized.size());
+  for (const Tensor& n : normalized) inputs.push_back(&n);
+  return infer_batch(inputs);
+}
+
 TinyVbfBeamformer::TinyVbfBeamformer(std::shared_ptr<const TinyVbf> model)
     : model_(std::move(model)) {
   TVBF_REQUIRE(model_ != nullptr, "TinyVbfBeamformer needs a model");
@@ -27,6 +62,14 @@ TinyVbfBeamformer::TinyVbfBeamformer(std::shared_ptr<const TinyVbf> model)
 
 Tensor TinyVbfBeamformer::beamform(const us::TofCube& cube) const {
   return model_->infer(normalized_input(cube));
+}
+
+std::vector<Tensor> TinyVbfBeamformer::beamform_batch(
+    const std::vector<const us::TofCube*>& cubes) const {
+  return beamform_batch_normalized(
+      cubes, [this](const std::vector<const Tensor*>& inputs) {
+        return model_->infer_batch(inputs);
+      });
 }
 
 TinyCnnBeamformer::TinyCnnBeamformer(std::shared_ptr<const TinyCnn> model)

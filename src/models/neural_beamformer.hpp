@@ -3,8 +3,10 @@
 // networks identically.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "beamform/beamformer.hpp"
 #include "models/fcnn.hpp"
@@ -14,13 +16,18 @@
 namespace tvbf::models {
 
 /// Tiny-VBF as a Beamformer: normalizes the RF cube to [-1, 1] and runs the
-/// network; the network output is already an IQ image.
-class TinyVbfBeamformer : public bf::Beamformer {
+/// network; the network output is already an IQ image. Batch-capable: the
+/// per-depth-row transformer lets several frames stack into one forward
+/// pass (cubes are normalized per frame first, so batched outputs are
+/// bit-identical to solo beamform() calls).
+class TinyVbfBeamformer : public bf::BatchedBeamformer {
  public:
   explicit TinyVbfBeamformer(std::shared_ptr<const TinyVbf> model);
 
   std::string name() const override { return "Tiny-VBF"; }
   Tensor beamform(const us::TofCube& cube) const override;
+  std::vector<Tensor> beamform_batch(
+      const std::vector<const us::TofCube*>& cubes) const override;
 
  private:
   std::shared_ptr<const TinyVbf> model_;
@@ -54,6 +61,22 @@ class FcnnBeamformer : public bf::Beamformer {
 /// Normalized copy of the cube's RF data (shared by the adapters and the
 /// training-set builder so train/test preprocessing cannot diverge).
 Tensor normalized_input(const us::TofCube& cube);
+
+/// Shared plumbing of every batch-of-frames entry point: stacks the
+/// per-frame inputs along the depth axis, runs `infer` once on the stacked
+/// tensor, and splits the output back per frame. Single-frame batches skip
+/// the stack/split copies.
+std::vector<Tensor> stacked_forward(
+    const std::vector<const Tensor*>& inputs,
+    const std::function<Tensor(const Tensor&)>& infer);
+
+/// Shared body of the batch-capable beamformer adapters: normalizes each
+/// cube per frame (so batched outputs stay bit-identical to solo
+/// beamform() calls) and hands the normalized tensors to `infer_batch`.
+std::vector<Tensor> beamform_batch_normalized(
+    const std::vector<const us::TofCube*>& cubes,
+    const std::function<std::vector<Tensor>(const std::vector<const Tensor*>&)>&
+        infer_batch);
 
 /// Converts a beamformed RF image (nz, nx) to IQ (nz, nx, 2) via per-column
 /// analytic signal.

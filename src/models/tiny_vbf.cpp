@@ -1,5 +1,7 @@
 #include "models/tiny_vbf.hpp"
 
+#include "models/neural_beamformer.hpp"
+
 namespace tvbf::models {
 
 void TinyVbfConfig::validate() const {
@@ -75,6 +77,15 @@ nn::Variable TinyVbf::forward(const nn::Variable& x) const {
 
 Tensor TinyVbf::infer(const Tensor& input) const {
   return forward(nn::constant(input)).value();
+}
+
+std::vector<Tensor> TinyVbf::infer_batch(
+    const std::vector<const Tensor*>& inputs) const {
+  // Frames stack along the depth axis: forward() treats nz as a pure batch
+  // dimension (every op is per depth row), so the stacked pass is row-wise
+  // identical to per-frame passes while paying the per-op overhead once.
+  return stacked_forward(inputs,
+                         [this](const Tensor& stacked) { return infer(stacked); });
 }
 
 std::vector<nn::Variable> TinyVbf::parameters() const {

@@ -56,6 +56,15 @@ class TinyVbf : public nn::Module {
   /// Inference-only convenience over a raw tensor.
   Tensor infer(const Tensor& input) const;
 
+  /// Batch-of-frames inference: stacks the per-frame inputs (nz_i, nx, nch)
+  /// along the depth axis, runs ONE forward pass, and splits the IQ output
+  /// back per frame. Depth rows are independent in this architecture
+  /// (attention runs across lateral patches within a row), so each result
+  /// is bit-identical to infer() on that frame alone; the single pass
+  /// amortizes the autograd graph and GEMM setup across the whole batch.
+  std::vector<Tensor> infer_batch(
+      const std::vector<const Tensor*>& inputs) const;
+
   std::vector<nn::Variable> parameters() const override;
   const TinyVbfConfig& config() const { return config_; }
 

@@ -1,7 +1,9 @@
 #include "quant/quantized_tiny_vbf.hpp"
 
 #include <cmath>
+#include <utility>
 
+#include "models/neural_beamformer.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace tvbf::quant {
@@ -184,6 +186,36 @@ Tensor QuantizedTinyVbf::infer(const Tensor& input) const {
   h = q_op(relu(dense(h, dec1_)));
   h = q_inter(dense(h, dec2_));
   return h.reshaped({nz, config_.num_lateral, 2});
+}
+
+std::vector<Tensor> QuantizedTinyVbf::infer_batch(
+    const std::vector<const Tensor*>& inputs) const {
+  // Same depth-axis stacking as TinyVbf::infer_batch: every fixed-point
+  // stage is per depth row, so batched results match solo infer() exactly.
+  return models::stacked_forward(
+      inputs, [this](const Tensor& stacked) { return infer(stacked); });
+}
+
+QuantizedVbfBeamformer::QuantizedVbfBeamformer(
+    std::shared_ptr<const QuantizedTinyVbf> model)
+    : model_(std::move(model)) {
+  TVBF_REQUIRE(model_ != nullptr, "QuantizedVbfBeamformer needs a model");
+}
+
+std::string QuantizedVbfBeamformer::name() const {
+  return "Tiny-VBF[" + model_->scheme().name + "]";
+}
+
+Tensor QuantizedVbfBeamformer::beamform(const us::TofCube& cube) const {
+  return model_->infer(models::normalized_input(cube));
+}
+
+std::vector<Tensor> QuantizedVbfBeamformer::beamform_batch(
+    const std::vector<const us::TofCube*>& cubes) const {
+  return models::beamform_batch_normalized(
+      cubes, [this](const std::vector<const Tensor*>& inputs) {
+        return model_->infer_batch(inputs);
+      });
 }
 
 std::int64_t QuantizedTinyVbf::weight_storage_bits() const {

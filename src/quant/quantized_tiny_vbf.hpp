@@ -10,7 +10,9 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
+#include "beamform/beamformer.hpp"
 #include "models/tiny_vbf.hpp"
 #include "quant/scheme.hpp"
 
@@ -25,6 +27,15 @@ class QuantizedTinyVbf {
 
   /// Fixed-point forward pass: (nz, nx, nch) -> IQ (nz, nx, 2).
   Tensor infer(const Tensor& input) const;
+
+  /// Batch-of-frames fixed-point inference: stacks the per-frame inputs
+  /// along the depth axis, runs one pass through the quantized datapath and
+  /// splits the IQ output per frame. Every stage (dense, layer norm,
+  /// softmax, fake quantization) is per depth row, so each result is
+  /// bit-identical to infer() on that frame alone; the single pass
+  /// amortizes GEMM packing and tensor allocation across the batch.
+  std::vector<Tensor> infer_batch(
+      const std::vector<const Tensor*>& inputs) const;
 
   const QuantScheme& scheme() const { return scheme_; }
   const models::TinyVbfConfig& config() const { return config_; }
@@ -62,6 +73,23 @@ class QuantizedTinyVbf {
   std::vector<BlockW> blocks_;
   DenseW dec1_, dec2_;
   std::int64_t param_count_ = 0;
+};
+
+/// QuantizedTinyVbf through the common Beamformer interface, mirroring
+/// models::TinyVbfBeamformer (same [-1, 1] cube normalization). Batch-
+/// capable, so the serving layer's cross-session batcher can stack frames
+/// through the fixed-point datapath in one pass.
+class QuantizedVbfBeamformer : public bf::BatchedBeamformer {
+ public:
+  explicit QuantizedVbfBeamformer(std::shared_ptr<const QuantizedTinyVbf> model);
+
+  std::string name() const override;
+  Tensor beamform(const us::TofCube& cube) const override;
+  std::vector<Tensor> beamform_batch(
+      const std::vector<const us::TofCube*>& cubes) const override;
+
+ private:
+  std::shared_ptr<const QuantizedTinyVbf> model_;
 };
 
 }  // namespace tvbf::quant

@@ -33,21 +33,16 @@ const StageStats& PipelineReport::stage(const std::string& name) const {
   throw InvalidArgument("no pipeline stage named '" + name + "'");
 }
 
-Pipeline::Pipeline(std::shared_ptr<FrameSource> source,
-                   std::shared_ptr<const bf::Beamformer> beamformer,
-                   PipelineConfig config)
-    : source_(std::move(source)), beamformer_(std::move(beamformer)),
-      config_(std::move(config)) {
-  TVBF_REQUIRE(source_ != nullptr, "pipeline needs a frame source");
-  TVBF_REQUIRE(beamformer_ != nullptr, "pipeline needs a beamformer");
+FrameProcessor::FrameProcessor(std::shared_ptr<const bf::Beamformer> beamformer,
+                               PipelineConfig config)
+    : beamformer_(std::move(beamformer)), config_(std::move(config)) {
+  TVBF_REQUIRE(beamformer_ != nullptr, "frame processor needs a beamformer");
   config_.grid.validate();
   TVBF_REQUIRE(config_.dynamic_range_db > 0.0,
                "dynamic range must be positive");
 }
 
-void Pipeline::process_frame(Frame& frame, const Sink& sink,
-                             PipelineReport& report) {
-  Timer t;
+const us::TofCube& FrameProcessor::apply_tof(const Frame& frame) {
   if (config_.use_plan_cache) {
     // The cache makes repeated keys O(1); holding the shared_ptr keeps the
     // stream's plan alive even if a larger working set evicts it.
@@ -57,22 +52,50 @@ void Pipeline::process_frame(Frame& frame, const Sink& sink,
   } else {
     cube_ = us::tof_correct(frame.acq, config_.grid, config_.tof);
   }
-  report.stages[kTof].record(t.seconds());
+  return cube_;
+}
+
+FrameOutput FrameProcessor::finish(const Frame& frame, Tensor iq) {
+  iq_ = std::move(iq);
+  envelope_ = dsp::envelope_iq(iq_);
+  db_ = dsp::log_compress(envelope_, config_.dynamic_range_db);
+  return FrameOutput{frame.index, frame.time_s, iq_, envelope_, db_};
+}
+
+FrameOutput FrameProcessor::process(const Frame& frame, StageTimes* times) {
+  Timer t;
+  apply_tof(frame);
+  if (times) times->tof_s = t.seconds();
 
   t.reset();
   iq_ = beamformer_->beamform(cube_);
-  report.stages[kBeamform].record(t.seconds());
+  if (times) times->beamform_s = t.seconds();
 
   t.reset();
   envelope_ = dsp::envelope_iq(iq_);
   db_ = dsp::log_compress(envelope_, config_.dynamic_range_db);
-  report.stages[kPost].record(t.seconds());
+  if (times) times->post_s = t.seconds();
+  return FrameOutput{frame.index, frame.time_s, iq_, envelope_, db_};
+}
 
-  t.reset();
-  if (sink) {
-    const FrameOutput out{frame.index, frame.time_s, iq_, envelope_, db_};
-    sink(out);
-  }
+Pipeline::Pipeline(std::shared_ptr<FrameSource> source,
+                   std::shared_ptr<const bf::Beamformer> beamformer,
+                   PipelineConfig config)
+    : source_(std::move(source)),
+      processor_(std::move(beamformer), std::move(config)) {
+  TVBF_REQUIRE(source_ != nullptr, "pipeline needs a frame source");
+}
+
+void Pipeline::process_frame(Frame& frame, const Sink& sink,
+                             PipelineReport& report) {
+  FrameProcessor::StageTimes times;
+  const FrameOutput out = processor_.process(frame, &times);
+  report.stages[kTof].record(times.tof_s);
+  report.stages[kBeamform].record(times.beamform_s);
+  report.stages[kPost].record(times.post_s);
+
+  Timer t;
+  if (sink) sink(out);
   report.stages[kSink].record(t.seconds());
   ++report.frames;
 }
@@ -86,7 +109,7 @@ PipelineReport Pipeline::run(const Sink& sink) {
   source_->reset();
   Timer wall;
 
-  if (!config_.overlap) {
+  if (!processor_.config().overlap) {
     Frame frame;
     while (true) {
       Timer t;

@@ -72,6 +72,53 @@ struct FrameOutput {
   const Tensor& db;        ///< (nz, nx) log-compressed B-mode
 };
 
+/// Reusable per-frame processing state for one stream: the cached ToF plan
+/// handle, the ToF cube + channel workspace and the output image tensors.
+/// Pipeline drives one FrameProcessor internally; the serving layer
+/// (src/serve) owns one per session and steps it from its scheduler.
+/// Not thread-safe — one FrameProcessor is stepped by one thread at a time.
+class FrameProcessor {
+ public:
+  /// Wall-clock seconds spent per stage by the last step.
+  struct StageTimes {
+    double tof_s = 0.0;
+    double beamform_s = 0.0;
+    double post_s = 0.0;
+  };
+
+  /// The beamformer must accept the cube flavor `config.tof` produces
+  /// (analytic for MVDR/CF, RF for DAS and the learned models).
+  FrameProcessor(std::shared_ptr<const bf::Beamformer> beamformer,
+                 PipelineConfig config);
+
+  /// Full per-frame step: ToF -> beamform -> envelope/log-compression.
+  /// The returned FrameOutput references processor-owned buffers that the
+  /// next step overwrites.
+  FrameOutput process(const Frame& frame, StageTimes* times = nullptr);
+
+  /// Split stepping for externally batched beamforming: apply_tof() fills
+  /// the processor's cube, the caller beamforms it (possibly stacked with
+  /// other sessions' cubes), and finish() runs envelope/log-compression on
+  /// the externally produced IQ image.
+  const us::TofCube& apply_tof(const Frame& frame);
+  FrameOutput finish(const Frame& frame, Tensor iq);
+
+  const PipelineConfig& config() const { return config_; }
+  const bf::Beamformer& beamformer() const { return *beamformer_; }
+
+ private:
+  std::shared_ptr<const bf::Beamformer> beamformer_;
+  PipelineConfig config_;
+
+  // Frame state. The ToF cube and channel workspace — the large buffers —
+  // are reused across frames; the beamformer/postprocess stages still
+  // return fresh image-sized tensors per frame.
+  us::TofCube cube_;
+  ChannelWorkspace workspace_;
+  std::shared_ptr<const TofPlan> plan_;
+  Tensor iq_, envelope_, db_;
+};
+
 /// Drives frames from a source through ToF correction, a beamformer and
 /// envelope/log-compression, invoking the sink once per frame.
 class Pipeline {
@@ -89,22 +136,13 @@ class Pipeline {
   /// exceptions propagate to the caller.
   PipelineReport run(const Sink& sink = {});
 
-  const PipelineConfig& config() const { return config_; }
+  const PipelineConfig& config() const { return processor_.config(); }
 
  private:
   void process_frame(Frame& frame, const Sink& sink, PipelineReport& report);
 
   std::shared_ptr<FrameSource> source_;
-  std::shared_ptr<const bf::Beamformer> beamformer_;
-  PipelineConfig config_;
-
-  // Frame state. The ToF cube and channel workspace — the large buffers —
-  // are reused across frames; the beamformer/postprocess stages still
-  // return fresh image-sized tensors per frame.
-  us::TofCube cube_;
-  ChannelWorkspace workspace_;
-  std::shared_ptr<const TofPlan> plan_;
-  Tensor iq_, envelope_, db_;
+  FrameProcessor processor_;
 };
 
 }  // namespace tvbf::rt

@@ -1,6 +1,8 @@
 #include "runtime/plan_cache.hpp"
 
+#include <condition_variable>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
@@ -13,6 +15,17 @@ constexpr std::size_t kDefaultCapacityBytes = 768ull << 20;
 struct KeyHasher {
   std::size_t operator()(const TofPlanKey& k) const { return hash_key(k); }
 };
+
+/// Single-flight latch for one in-progress plan build. The builder fills
+/// plan/error and flips done; joiners wait on the latch's own mutex so a
+/// slow build never blocks the cache lock.
+struct InFlight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::shared_ptr<const TofPlan> plan;
+  std::exception_ptr error;
+};
 }  // namespace
 
 struct PlanCache::Impl {
@@ -22,8 +35,12 @@ struct PlanCache::Impl {
   std::size_t capacity = kDefaultCapacityBytes;
   std::size_t bytes = 0;
   std::uint64_t hits = 0, misses = 0, evictions = 0;
+  std::uint64_t duplicate_builds = 0;
   std::list<Entry> lru;  // front = most recently used
   std::unordered_map<TofPlanKey, std::list<Entry>::iterator, KeyHasher> map;
+  /// Builds in flight, keyed like the cache itself.
+  std::unordered_map<TofPlanKey, std::shared_ptr<InFlight>, KeyHasher>
+      building;
 
   // Evicts from the back until the budget is met. Caller holds mu.
   void evict_to_fit() {
@@ -62,6 +79,8 @@ std::shared_ptr<const TofPlan> PlanCache::get(const us::Probe& probe,
   key.grid = grid;
   key.interp = interp;
 
+  std::shared_ptr<InFlight> flight;
+  bool builder = false;
   {
     const std::lock_guard<std::mutex> lock(impl_->mu);
     if (const auto it = impl_->map.find(key); it != impl_->map.end()) {
@@ -70,22 +89,72 @@ std::shared_ptr<const TofPlan> PlanCache::get(const us::Probe& probe,
       return it->second->second;
     }
     ++impl_->misses;
+    if (const auto it = impl_->building.find(key);
+        it != impl_->building.end()) {
+      ++impl_->duplicate_builds;  // coalesced onto the in-flight build
+      flight = it->second;
+    } else {
+      // The latch is constructed before it enters the map: if either
+      // allocation throws, nothing is inserted and a later get() simply
+      // retries the build (a null latch in the map would poison the key).
+      flight = std::make_shared<InFlight>();
+      impl_->building.emplace(key, flight);
+      builder = true;
+    }
   }
-  // Built outside the lock so a slow paper-scale geometry pass never stalls
-  // O(1) hits on other keys; a concurrent miss on the same key duplicates
-  // the build (rare) and the first insertion wins below.
-  auto plan = std::make_shared<const TofPlan>(
-      TofPlan::build(probe, grid, steering_angle_rad, t0, n_samples, interp));
-  const std::size_t plan_bytes = plan->bytes();
-  const std::lock_guard<std::mutex> lock(impl_->mu);
-  if (const auto it = impl_->map.find(key); it != impl_->map.end())
-    return it->second->second;  // another thread built it meanwhile
-  if (plan_bytes <= impl_->capacity) {
-    impl_->lru.emplace_front(key, plan);
-    impl_->map.emplace(key, impl_->lru.begin());
-    impl_->bytes += plan_bytes;
-    impl_->evict_to_fit();
+
+  if (!builder) {
+    // Single-flight: join the build already running for this key instead of
+    // duplicating the expensive geometry pass.
+    std::unique_lock<std::mutex> wait_lock(flight->mu);
+    flight->cv.wait(wait_lock, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    return flight->plan;
   }
+
+  // Built outside the cache lock so a slow paper-scale geometry pass never
+  // stalls O(1) hits on other keys.
+  std::shared_ptr<const TofPlan> plan;
+  try {
+    plan = std::make_shared<const TofPlan>(TofPlan::build(
+        probe, grid, steering_angle_rad, t0, n_samples, interp));
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(impl_->mu);
+      if (const auto it = impl_->building.find(key);
+          it != impl_->building.end() && it->second == flight)
+        impl_->building.erase(it);
+    }
+    {
+      const std::lock_guard<std::mutex> done_lock(flight->mu);
+      flight->error = std::current_exception();
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    throw;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    // Erase only our own latch: clear() may have dropped it and a later
+    // get() may have started a fresh build under the same key.
+    if (const auto it = impl_->building.find(key);
+        it != impl_->building.end() && it->second == flight)
+      impl_->building.erase(it);
+    if (const std::size_t plan_bytes = plan->bytes();
+        plan_bytes <= impl_->capacity &&
+        impl_->map.find(key) == impl_->map.end()) {
+      impl_->lru.emplace_front(key, plan);
+      impl_->map.emplace(key, impl_->lru.begin());
+      impl_->bytes += plan_bytes;
+      impl_->evict_to_fit();
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> done_lock(flight->mu);
+    flight->plan = plan;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
   return plan;
 }
 
@@ -106,6 +175,7 @@ PlanCache::Stats PlanCache::stats() const {
   s.hits = impl_->hits;
   s.misses = impl_->misses;
   s.evictions = impl_->evictions;
+  s.duplicate_builds = impl_->duplicate_builds;
   s.bytes = impl_->bytes;
   s.entries = impl_->lru.size();
   s.capacity_bytes = impl_->capacity;
@@ -119,11 +189,15 @@ void PlanCache::set_capacity(std::size_t bytes) {
 }
 
 void PlanCache::clear() {
+  // In-flight builds are left to finish: their latches were handed out to
+  // waiters already. Each builder erases only its own latch, so a build
+  // racing a clear() completes normally (it just may not be retained).
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->lru.clear();
   impl_->map.clear();
   impl_->bytes = 0;
   impl_->hits = impl_->misses = impl_->evictions = 0;
+  impl_->duplicate_builds = 0;
 }
 
 }  // namespace tvbf::rt

@@ -18,8 +18,10 @@ namespace tvbf::rt {
 
 /// Global ToF-plan cache. All methods are thread-safe; a miss builds the
 /// plan outside the cache lock (hits on other keys are never stalled by a
-/// build; racing misses on one key may duplicate the build, first insert
-/// wins).
+/// build). Builds are single-flight per key: concurrent misses on one key
+/// coalesce onto the first caller's build instead of duplicating the
+/// expensive geometry pass — the joiners block until the build completes
+/// and are counted in Stats::duplicate_builds.
 class PlanCache {
  public:
   /// The process-wide instance.
@@ -28,8 +30,14 @@ class PlanCache {
   /// Cache usage counters (cumulative since construction or clear()).
   struct Stats {
     std::uint64_t hits = 0;
+    /// get() calls that could not be served from the resident cache
+    /// (includes calls that joined another thread's in-flight build).
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// Misses that found an in-flight build for their key and waited for
+    /// it instead of building again — each one is a duplicated geometry
+    /// pass the single-flight latch avoided.
+    std::uint64_t duplicate_builds = 0;
     std::size_t bytes = 0;          ///< current resident plan bytes
     std::size_t entries = 0;        ///< current resident plan count
     std::size_t capacity_bytes = 0;

@@ -1,0 +1,136 @@
+#include "serve/async_sink.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace tvbf::serve {
+
+struct AsyncSink::Impl {
+  WriteFn write;
+  Options options;
+
+  std::mutex mu;
+  std::condition_variable cv_data;   // writer waits for frames
+  std::condition_variable cv_space;  // producer waits for a slot
+  std::deque<SinkFrame> queue;
+  bool closed = false;           // no more push() accepted
+  bool error_reported = false;   // close() already rethrew
+  std::exception_ptr error;
+  Stats stats;
+  std::thread writer;
+
+  void writer_loop() {
+    while (true) {
+      SinkFrame frame;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_data.wait(lock, [&] { return !queue.empty() || closed; });
+        if (queue.empty()) return;  // closed and drained
+        frame = std::move(queue.front());
+        queue.pop_front();
+      }
+      cv_space.notify_all();
+      Timer t;
+      try {
+        write(frame);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+        // Discard what is queued: the producer must not block forever on a
+        // writer that will never drain again.
+        queue.clear();
+        cv_space.notify_all();
+        return;
+      }
+      const std::lock_guard<std::mutex> lock(mu);
+      ++stats.written;
+      stats.write_s += t.seconds();
+    }
+  }
+};
+
+AsyncSink::AsyncSink(WriteFn write) : AsyncSink(std::move(write), Options{}) {}
+
+AsyncSink::AsyncSink(WriteFn write, Options options)
+    : impl_(std::make_unique<Impl>()) {
+  TVBF_REQUIRE(write != nullptr, "AsyncSink needs a writer callback");
+  TVBF_REQUIRE(options.queue_depth >= 1, "AsyncSink queue_depth must be >= 1");
+  impl_->write = std::move(write);
+  impl_->options = options;
+  impl_->writer = std::thread([this] { impl_->writer_loop(); });
+}
+
+AsyncSink::~AsyncSink() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; close() reports writer errors when called
+    // explicitly.
+  }
+}
+
+void AsyncSink::push(const rt::FrameOutput& frame) {
+  Timer t;
+  SinkFrame copy{frame.index, frame.time_s, frame.db};  // deep copy
+  const double copy_s = t.seconds();
+
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  TVBF_REQUIRE(!impl_->closed, "AsyncSink::push after close");
+  if (impl_->error) {
+    impl_->error_reported = true;
+    std::rethrow_exception(impl_->error);
+  }
+  impl_->stats.copy_s += copy_s;
+  if (impl_->queue.size() >= impl_->options.queue_depth) {
+    if (impl_->options.drop_when_full) {
+      impl_->queue.pop_front();
+      ++impl_->stats.dropped;
+    } else {
+      t.reset();
+      impl_->cv_space.wait(lock, [&] {
+        return impl_->queue.size() < impl_->options.queue_depth ||
+               impl_->error != nullptr;
+      });
+      impl_->stats.blocked_s += t.seconds();
+      if (impl_->error) {
+        impl_->error_reported = true;
+        std::rethrow_exception(impl_->error);
+      }
+    }
+  }
+  impl_->queue.push_back(std::move(copy));
+  ++impl_->stats.pushed;
+  impl_->cv_data.notify_one();
+}
+
+rt::Pipeline::Sink AsyncSink::sink() {
+  return [this](const rt::FrameOutput& frame) { push(frame); };
+}
+
+void AsyncSink::close() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->closed = true;
+  }
+  impl_->cv_data.notify_all();
+  if (impl_->writer.joinable()) impl_->writer.join();
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->error && !impl_->error_reported) {
+    impl_->error_reported = true;
+    std::rethrow_exception(impl_->error);
+  }
+}
+
+AsyncSink::Stats AsyncSink::stats() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->stats;
+}
+
+}  // namespace tvbf::serve

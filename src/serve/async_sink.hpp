@@ -1,0 +1,78 @@
+// Double-buffered asynchronous frame sink.
+//
+// The streaming pipeline invokes its sink inline, so a slow writer (PGM to
+// disk, network egress) stalls the frame clock. AsyncSink decouples them
+// with the same pattern as the source prefetch thread: push() deep-copies
+// the frame's dB image into a small bounded queue and returns; a dedicated
+// writer thread drains the queue. With the default depth of 2 the writer
+// works on frame k while the pipeline fills frame k+1 — classic double
+// buffering. The queue can either block the producer when the writer falls
+// behind (lossless file output) or drop the oldest queued frame (display
+// sinks that only want the freshest image).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "runtime/pipeline.hpp"
+
+namespace tvbf::serve {
+
+/// One frame as handed to the writer: deep copies, safe to keep after the
+/// pipeline has overwritten its buffers.
+struct SinkFrame {
+  std::int64_t index = 0;
+  double time_s = 0.0;
+  Tensor db;  ///< (nz, nx) log-compressed B-mode
+};
+
+/// Writer-thread sink. All public methods are safe to call from one
+/// producer thread; the writer callback runs on the sink's own thread.
+class AsyncSink {
+ public:
+  using WriteFn = std::function<void(const SinkFrame&)>;
+
+  struct Options {
+    std::size_t queue_depth = 2;  ///< bounded buffer (>= 1); 2 = double buffer
+    /// When the queue is full: false blocks push() until the writer frees a
+    /// slot (lossless); true drops the oldest queued frame instead (the
+    /// freshest frames win, counted in Stats::dropped).
+    bool drop_when_full = false;
+  };
+
+  struct Stats {
+    std::int64_t pushed = 0;   ///< frames accepted by push()
+    std::int64_t written = 0;  ///< frames the writer completed
+    std::int64_t dropped = 0;  ///< frames dropped under drop_when_full
+    double copy_s = 0.0;       ///< producer-side deep-copy time
+    double blocked_s = 0.0;    ///< producer-side time blocked on a full queue
+    double write_s = 0.0;      ///< writer-side time inside the callback
+  };
+
+  explicit AsyncSink(WriteFn write);
+  AsyncSink(WriteFn write, Options options);
+  ~AsyncSink();  // closes; writer errors are swallowed (use close() to see them)
+
+  /// Enqueues a deep copy of the frame. Blocks or drops per Options when
+  /// the queue is full. Rethrows a pending writer error.
+  void push(const rt::FrameOutput& frame);
+
+  /// Adapter usable directly as a rt::Pipeline::Sink.
+  rt::Pipeline::Sink sink();
+
+  /// Drains the queue, joins the writer and rethrows the first writer
+  /// error (once). Idempotent; push() after close() throws.
+  void close();
+
+  Stats stats() const;
+
+  AsyncSink(const AsyncSink&) = delete;
+  AsyncSink& operator=(const AsyncSink&) = delete;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tvbf::serve

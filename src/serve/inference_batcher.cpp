@@ -1,0 +1,58 @@
+#include "serve/inference_batcher.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace tvbf::serve {
+
+struct InferenceBatcher::Impl {
+  std::size_t max_batch;
+  mutable std::mutex mu;
+  Stats stats;
+};
+
+InferenceBatcher::InferenceBatcher(std::size_t max_batch)
+    : impl_(std::make_shared<Impl>()) {
+  TVBF_REQUIRE(max_batch >= 1, "InferenceBatcher max_batch must be >= 1");
+  impl_->max_batch = max_batch;
+}
+
+std::vector<Tensor> InferenceBatcher::dispatch(
+    const bf::BatchedBeamformer& beamformer,
+    const std::vector<const us::TofCube*>& cubes) {
+  TVBF_REQUIRE(!cubes.empty(), "dispatch needs at least one cube");
+  std::vector<Tensor> results;
+  results.reserve(cubes.size());
+  for (std::size_t begin = 0; begin < cubes.size();
+       begin += impl_->max_batch) {
+    const std::size_t end =
+        std::min(cubes.size(), begin + impl_->max_batch);
+    const std::vector<const us::TofCube*> chunk(cubes.begin() + begin,
+                                                cubes.begin() + end);
+    Timer t;
+    std::vector<Tensor> chunk_out = beamformer.beamform_batch(chunk);
+    const double forward_s = t.seconds();
+    TVBF_REQUIRE(chunk_out.size() == chunk.size(),
+                 "beamform_batch returned a wrong-sized batch");
+    for (Tensor& iq : chunk_out) results.push_back(std::move(iq));
+
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    ++impl_->stats.batches;
+    impl_->stats.frames += static_cast<std::int64_t>(chunk.size());
+    impl_->stats.max_batch = std::max(impl_->stats.max_batch,
+                                      static_cast<std::int64_t>(chunk.size()));
+    impl_->stats.forward_s += forward_s;
+  }
+  return results;
+}
+
+InferenceBatcher::Stats InferenceBatcher::stats() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->stats;
+}
+
+}  // namespace tvbf::serve

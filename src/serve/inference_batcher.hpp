@@ -1,0 +1,54 @@
+// Cross-session inference batching.
+//
+// Sessions running learned beamformers produce one (nz, nx, nch) patch
+// tensor per frame. Dispatching each alone wastes most of the forward
+// pass on per-op overhead (autograd graph nodes, GEMM packing, thread
+// fan-out) — the same per-frame fixed cost the PlanCache removes from the
+// geometry stage. The batcher stacks every cube that is ready across
+// sessions along the depth axis and runs ONE forward pass through the
+// tensor/kernels datapath, splitting the IQ images back per frame. The
+// stack axis is the row-independent one, so batched outputs stay
+// bit-identical to per-frame calls (bf::BatchedBeamformer contract).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "beamform/beamformer.hpp"
+
+namespace tvbf::serve {
+
+/// Stateless dispatch + usage counters. dispatch() may be called from any
+/// one thread at a time per batcher; stats() is thread-safe.
+class InferenceBatcher {
+ public:
+  struct Stats {
+    std::int64_t batches = 0;    ///< forward passes dispatched
+    std::int64_t frames = 0;     ///< frames across all batches
+    std::int64_t max_batch = 0;  ///< largest single batch
+    double forward_s = 0.0;      ///< wall time inside beamform_batch
+
+    double mean_batch() const {
+      return batches > 0 ? static_cast<double>(frames) /
+                               static_cast<double>(batches)
+                         : 0.0;
+    }
+  };
+
+  /// Caps one dispatch; larger groups are split into max_batch chunks.
+  explicit InferenceBatcher(std::size_t max_batch = 16);
+
+  /// Runs one batched pass (chunked at max_batch) over the cubes and
+  /// returns one IQ image per cube, in order.
+  std::vector<Tensor> dispatch(const bf::BatchedBeamformer& beamformer,
+                               const std::vector<const us::TofCube*>& cubes);
+
+  Stats stats() const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace tvbf::serve

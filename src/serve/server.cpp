@@ -1,0 +1,340 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "runtime/plan_cache.hpp"
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace tvbf::serve {
+
+void tune_allocator() {
+#if defined(__GLIBC__)
+  // 64 MiB covers paper-scale stacked activations; anything below keeps
+  // recycling through the heap arena.
+  mallopt(M_MMAP_THRESHOLD, 64 << 20);
+  mallopt(M_TRIM_THRESHOLD, 64 << 20);
+#endif
+}
+
+struct Server::Impl {
+  ServerConfig config;
+  InferenceBatcher batcher;
+  std::vector<std::unique_ptr<Session>> sessions;
+  bool started = false;
+
+  // ---- run() scheduler state ----------------------------------------------
+  std::mutex mu;
+  std::condition_variable cv_work;   // schedulers: frames ready / done
+  std::condition_variable cv_space;  // producers: queue slot freed
+  bool stop = false;
+  std::exception_ptr first_error;
+  std::vector<Session*> direct;   // scheduled by the worker threads
+  std::vector<Session*> batched;  // scheduled by the inference thread
+  std::size_t direct_cursor = 0;
+  std::size_t batched_cursor = 0;
+  bool serialize_frames = true;  // resolved from config.frame_parallelism
+
+  explicit Impl(ServerConfig cfg)
+      : config(cfg), batcher(cfg.max_batch) {}
+
+  void fail(std::exception_ptr error) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (!first_error) first_error = error;
+      stop = true;
+    }
+    cv_work.notify_all();
+    cv_space.notify_all();
+  }
+
+  static bool all_done(const std::vector<Session*>& set) {
+    return std::all_of(set.begin(), set.end(),
+                       [](const Session* s) { return s->done(); });
+  }
+
+  // ---- acquisition producers (one thread per session) ---------------------
+
+  void produce(Session& s) {
+    try {
+      s.config().source->reset();
+      while (true) {
+        rt::Frame frame;
+        Timer t;
+        const bool have = s.config().source->next(frame);
+        if (!have) break;
+        s.source_stats.record(t.seconds());
+        std::unique_lock<std::mutex> lock(mu);
+        if (stop) break;
+        if (s.ready.size() >= config.max_in_flight) {
+          if (config.backpressure == Backpressure::kBlock) {
+            cv_space.wait(lock, [&] {
+              return stop || s.ready.size() < config.max_in_flight;
+            });
+            if (stop) break;
+          } else {
+            s.ready.pop_front();  // freshest frames win
+            ++s.dropped;
+          }
+        }
+        s.ready.push_back(std::move(frame));
+        lock.unlock();
+        cv_work.notify_all();
+      }
+    } catch (...) {
+      fail(std::current_exception());
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      s.exhausted = true;
+    }
+    cv_work.notify_all();
+  }
+
+  // ---- direct sessions: round-robin worker threads ------------------------
+
+  /// Next direct session with a ready frame, rotating fairly. Caller holds
+  /// mu; marks nothing — the caller claims the session.
+  Session* pick_direct() {
+    const std::size_t n = direct.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = (direct_cursor + k) % n;
+      Session* s = direct[i];
+      if (!s->busy && !s->ready.empty()) {
+        direct_cursor = (i + 1) % n;
+        return s;
+      }
+    }
+    return nullptr;
+  }
+
+  void work_direct() {
+    // Throughput mode: the whole frame runs serially on this thread, so W
+    // workers process W sessions' frames truly concurrently instead of
+    // taking turns on the pool's single job slot. Latency mode leaves the
+    // pool fan-out on and relies on tagged fair-share slot admission.
+    std::optional<ScopedSerial> serial;
+    if (serialize_frames) serial.emplace();
+    while (true) {
+      Session* s = nullptr;
+      rt::Frame frame;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        while (true) {
+          if (stop) return;
+          if ((s = pick_direct()) != nullptr) break;
+          if (all_done(direct)) return;
+          cv_work.wait(lock);
+        }
+        frame = std::move(s->ready.front());
+        s->ready.pop_front();
+        s->busy = true;
+      }
+      cv_space.notify_all();
+
+      rt::FrameProcessor::StageTimes times;
+      double sink_s = 0.0;
+      try {
+        set_job_tag(static_cast<std::uint64_t>(s->id()) + 1);
+        const rt::FrameOutput out = s->processor().process(frame, &times);
+        Timer t;
+        if (s->config().sink) s->config().sink(out);
+        sink_s = t.seconds();
+        set_job_tag(0);
+      } catch (...) {
+        set_job_tag(0);
+        fail(std::current_exception());
+        return;
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        s->busy = false;
+        ++s->frames;
+        s->tof_stats.record(times.tof_s);
+        s->beamform_stats.record(times.beamform_s);
+        s->post_stats.record(times.post_s);
+        s->sink_stats.record(sink_s);
+      }
+      cv_work.notify_all();
+    }
+  }
+
+  // ---- batched sessions: one inference thread -----------------------------
+
+  void work_inference() {
+    while (true) {
+      const bf::BatchedBeamformer* model = nullptr;
+      std::vector<Session*> group;
+      std::vector<rt::Frame> frames;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        const std::size_t n = batched.size();
+        std::size_t leader = n;
+        while (true) {
+          if (stop) return;
+          leader = n;
+          for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t i = (batched_cursor + k) % n;
+            if (!batched[i]->busy && !batched[i]->ready.empty()) {
+              leader = i;
+              break;
+            }
+          }
+          if (leader < n) break;
+          if (all_done(batched)) return;
+          cv_work.wait(lock);
+        }
+        batched_cursor = (leader + 1) % batched.size();
+        model = batched[leader]->batched();
+        // One ready frame from every session sharing the leader's model —
+        // the cross-session batch. Per-session order holds: one frame per
+        // session per dispatch, FIFO queues, busy until finished.
+        for (std::size_t k = 0;
+             k < batched.size() && group.size() < config.max_batch; ++k) {
+          Session* s = batched[(leader + k) % batched.size()];
+          if (s->batched() == model && !s->busy && !s->ready.empty()) {
+            group.push_back(s);
+            frames.push_back(std::move(s->ready.front()));
+            s->ready.pop_front();
+            s->busy = true;
+          }
+        }
+      }
+      cv_space.notify_all();
+
+      std::vector<double> tof_s(group.size()), post_s(group.size()),
+          sink_s(group.size());
+      double forward_each_s = 0.0;
+      try {
+        std::vector<const us::TofCube*> cubes(group.size());
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          Timer t;
+          cubes[i] = &group[i]->processor().apply_tof(frames[i]);
+          tof_s[i] = t.seconds();
+        }
+        Timer fwd;
+        std::vector<Tensor> iqs = batcher.dispatch(*model, cubes);
+        forward_each_s = fwd.seconds() / static_cast<double>(group.size());
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          Timer t;
+          const rt::FrameOutput out =
+              group[i]->processor().finish(frames[i], std::move(iqs[i]));
+          post_s[i] = t.seconds();
+          t.reset();
+          if (group[i]->config().sink) group[i]->config().sink(out);
+          sink_s[i] = t.seconds();
+        }
+      } catch (...) {
+        fail(std::current_exception());
+        return;
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          Session* s = group[i];
+          s->busy = false;
+          ++s->frames;
+          s->tof_stats.record(tof_s[i]);
+          s->beamform_stats.record(forward_each_s);
+          s->post_stats.record(post_s[i]);
+          s->sink_stats.record(sink_s[i]);
+        }
+      }
+      cv_work.notify_all();
+    }
+  }
+};
+
+Server::Server(ServerConfig config) : impl_(std::make_unique<Impl>(config)) {
+  TVBF_REQUIRE(config.max_in_flight >= 1,
+               "server max_in_flight must be >= 1");
+}
+
+Server::~Server() = default;
+
+int Server::add_session(SessionConfig config) {
+  TVBF_REQUIRE(!impl_->started, "add_session after Server::run");
+  const int id = static_cast<int>(impl_->sessions.size());
+  impl_->sessions.push_back(std::make_unique<Session>(
+      id, std::move(config), impl_->config.batch_inference));
+  return id;
+}
+
+std::size_t Server::num_sessions() const { return impl_->sessions.size(); }
+
+const ServerConfig& Server::config() const { return impl_->config; }
+
+ServerReport Server::run() {
+  Impl& im = *impl_;
+  TVBF_REQUIRE(!im.started, "Server::run is single-shot");
+  TVBF_REQUIRE(!im.sessions.empty(), "server has no sessions");
+  im.started = true;
+
+  for (const auto& s : im.sessions)
+    (s->batched() != nullptr ? im.batched : im.direct).push_back(s.get());
+
+  switch (im.config.frame_parallelism) {
+    case FrameParallelism::kSerialPerWorker:
+      im.serialize_frames = true;
+      break;
+    case FrameParallelism::kPool:
+      im.serialize_frames = false;
+      break;
+    case FrameParallelism::kAuto:
+      // Serializing frames only pays when there are enough concurrent
+      // streams to fill the cores; below that it would idle cores and
+      // regress behind a solo Pipeline::run.
+      im.serialize_frames = im.direct.size() >= hardware_threads();
+      break;
+  }
+
+  const auto cache_before = rt::PlanCache::instance().stats();
+  Timer wall;
+
+  std::vector<std::thread> threads;
+  threads.reserve(im.sessions.size() + 1);
+  for (const auto& s : im.sessions)
+    threads.emplace_back([&im, session = s.get()] { im.produce(*session); });
+
+  if (!im.direct.empty()) {
+    const std::size_t workers = std::max<std::size_t>(
+        1, im.config.num_workers != 0
+               ? im.config.num_workers
+               : std::min(im.direct.size(), hardware_threads()));
+    for (std::size_t i = 0; i < workers; ++i)
+      threads.emplace_back([&im] { im.work_direct(); });
+  }
+  if (!im.batched.empty())
+    threads.emplace_back([&im] { im.work_inference(); });
+
+  for (auto& t : threads) t.join();
+
+  const double wall_s = wall.seconds();
+  if (im.first_error) std::rethrow_exception(im.first_error);
+
+  ServerReport report;
+  report.wall_s = wall_s;
+  const auto cache_after = rt::PlanCache::instance().stats();
+  report.plan_cache_hits = cache_after.hits - cache_before.hits;
+  report.plan_cache_misses = cache_after.misses - cache_before.misses;
+  report.batches = im.batcher.stats();
+  for (const auto& s : im.sessions) {
+    report.sessions.push_back(s->report());
+    report.frames += s->frames;
+    report.dropped += s->dropped;
+  }
+  return report;
+}
+
+}  // namespace tvbf::serve

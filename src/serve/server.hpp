@@ -1,0 +1,108 @@
+// Multi-session imaging server.
+//
+// The Server admits N concurrent sessions and drives them to completion
+// over shared resources: each session gets a producer thread (acquisition
+// prefetch with bounded in-flight frames and a backpressure policy), ready
+// frames are scheduled round-robin across sessions, and sessions sharing a
+// batch-capable learned beamformer have their frames stacked through one
+// cross-session forward pass per dispatch (InferenceBatcher). Scheduling
+// modes:
+//
+//  - throughput: each frame is processed serially on its worker thread
+//    (common::ScopedSerial), so concurrent sessions scale across cores
+//    instead of contending for the pool's single job slot;
+//  - latency: frames fan out on the shared pool via parallel_for, with
+//    pool-slot admission tagged by session id so the fair-share rotation
+//    keeps any one session from starving the rest.
+//
+// The default picks per run: throughput when there are at least as many
+// direct sessions as pool threads (enough streams to fill the cores),
+// latency otherwise (serializing a lone session would idle every other
+// core and regress far below a solo Pipeline::run).
+//
+// Either way each session's frames are processed one at a time, in order,
+// by its own FrameProcessor — so per-session output is bit-identical to a
+// solo rt::Pipeline::run of the same source.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/inference_batcher.hpp"
+#include "serve/session.hpp"
+
+namespace tvbf::serve {
+
+/// How a direct session's frame stages execute (see the file comment).
+enum class FrameParallelism {
+  kAuto,             ///< throughput when direct sessions >= pool threads
+  kSerialPerWorker,  ///< throughput mode, always
+  kPool,             ///< latency mode, always
+};
+
+/// Server-wide scheduling knobs.
+struct ServerConfig {
+  /// Worker threads for direct (non-batched) sessions; 0 = one per direct
+  /// session, capped at the pool size.
+  std::size_t num_workers = 0;
+  /// Per-session bound on acquired-but-unprocessed frames (>= 1).
+  std::size_t max_in_flight = 2;
+  Backpressure backpressure = Backpressure::kBlock;
+  /// Batch frames of sessions sharing a bf::BatchedBeamformer through one
+  /// forward pass. Off, those sessions are scheduled like any other.
+  bool batch_inference = true;
+  std::size_t max_batch = 16;  ///< cap on one cross-session batch
+  FrameParallelism frame_parallelism = FrameParallelism::kAuto;
+};
+
+/// What one Server::run did.
+struct ServerReport {
+  double wall_s = 0.0;
+  std::int64_t frames = 0;   ///< across all sessions
+  std::int64_t dropped = 0;  ///< across all sessions
+  std::vector<SessionReport> sessions;
+  InferenceBatcher::Stats batches;
+  std::uint64_t plan_cache_hits = 0;    ///< delta over this run
+  std::uint64_t plan_cache_misses = 0;  ///< delta over this run
+
+  double aggregate_fps() const {
+    return wall_s > 0.0 ? static_cast<double>(frames) / wall_s : 0.0;
+  }
+};
+
+/// Tunes the process allocator for steady-state serving (glibc: raises the
+/// malloc mmap/trim thresholds so frame-sized tensors recycle through the
+/// heap instead of being mmapped and unmapped — page faults + kernel
+/// zeroing — on every allocation). Stacked batch tensors cross the default
+/// 128 KiB threshold long before solo frames do, so serving processes
+/// should call this once at startup, as bench_serve and serve_demo do.
+/// No-op on non-glibc platforms.
+void tune_allocator();
+
+/// Admits sessions, then drives them all concurrently in run().
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+  ~Server();
+
+  /// Admits a session (before run() only). Returns its session id.
+  int add_session(SessionConfig config);
+
+  std::size_t num_sessions() const;
+  const ServerConfig& config() const;
+
+  /// Runs every session's source dry and returns the aggregate report.
+  /// Single-shot: a Server instance runs once. The first exception from
+  /// any source, stage or sink stops all sessions and propagates.
+  ServerReport run();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tvbf::serve
