@@ -11,7 +11,10 @@
 // graph, GEMM packing, pool fan-out) the way the PlanCache amortizes
 // geometry. Part 3 checks
 // that served per-session output stays bit-identical to a solo
-// Pipeline::run of the same source, DAS and Tiny-VBF alike.
+// Pipeline::run of the same source, DAS and Tiny-VBF alike. Part 4 A/Bs
+// the two server schedulers on a mixed DAS + Tiny-VBF session load:
+// legacy per-session round-robin vs readiness-scheduled frame graphs
+// (Scheduling::kGraph), asserting both lanes deliver identical frames.
 //
 //   ./bench_serve [--sessions N] [--frames N] [--full]
 //
@@ -226,17 +229,70 @@ int main(int argc, char** argv) {
     pipeline.run([&](const rt::FrameOutput& out) { last = out.db; });
     return last;
   };
-  const float das_diff = max_abs_diff(served_frame(das), solo_frame(das));
-  const float vbf_diff = max_abs_diff(served_frame(vbf), solo_frame(vbf));
+  const Tensor das_solo = solo_frame(das);
+  const Tensor vbf_solo = solo_frame(vbf);
+  const float das_diff = max_abs_diff(served_frame(das), das_solo);
+  const float vbf_diff = max_abs_diff(served_frame(vbf), vbf_solo);
   const bool match = das_diff == 0.0f && vbf_diff == 0.0f;
   std::printf("served vs solo B-mode: DAS max |diff| %.3g dB, Tiny-VBF max "
-              "|diff| %.3g dB -> %s\n",
+              "|diff| %.3g dB -> %s\n\n",
               static_cast<double>(das_diff), static_cast<double>(vbf_diff),
               match ? "MATCH" : "MISMATCH");
 
+  // ---- part 4: round-robin vs graph readiness scheduling -------------------
+  // Mixed load: alternating DAS and batch-capable Tiny-VBF sessions. Under
+  // round-robin a session parked behind the inference-batch quorum wastes
+  // its scheduler turn; readiness scheduling lets any runnable stage of any
+  // session fill that gap. Both lanes must produce identical frames.
+  auto run_mixed = [&](serve::Scheduling scheduling) {
+    serve::ServerConfig scfg;
+    scfg.scheduling = scheduling;
+    serve::Server mixed(scfg);
+    std::vector<Tensor> last(static_cast<std::size_t>(num_sessions));
+    for (int s = 0; s < num_sessions; ++s) {
+      const std::shared_ptr<const bf::Beamformer> beamformer =
+          s % 2 == 0 ? std::shared_ptr<const bf::Beamformer>(das)
+                     : std::shared_ptr<const bf::Beamformer>(vbf);
+      Tensor& into = last[static_cast<std::size_t>(s)];
+      mixed.add_session({make_source(), beamformer, cfg,
+                         [&into](const rt::FrameOutput& out) {
+                           into = out.db;
+                         }});
+    }
+    const serve::ServerReport report = mixed.run();
+    return std::make_pair(report, std::move(last));
+  };
+  const auto [rr_report, rr_frames] =
+      run_mixed(serve::Scheduling::kRoundRobin);
+  const auto [graph_report, graph_frames] =
+      run_mixed(serve::Scheduling::kGraph);
+  float sched_diff = 0.0f;
+  for (std::size_t s = 0; s < rr_frames.size(); ++s) {
+    const float d = max_abs_diff(rr_frames[s], graph_frames[s]);
+    if (d > sched_diff) sched_diff = d;
+    // Graph scheduling must also stay pinned to the solo reference.
+    const float solo_d =
+        max_abs_diff(graph_frames[s], s % 2 == 0 ? das_solo : vbf_solo);
+    if (solo_d > sched_diff) sched_diff = solo_d;
+  }
+  const double sched_ratio =
+      rr_report.aggregate_fps() > 0.0
+          ? graph_report.aggregate_fps() / rr_report.aggregate_fps()
+          : 0.0;
+  std::printf("mixed DAS + Tiny-VBF scheduling (%d sessions, aggregate "
+              "frames/s):\n",
+              num_sessions);
+  std::printf("  round-robin            %8.1f fps  (%.2f s)\n",
+              rr_report.aggregate_fps(), rr_report.wall_s);
+  std::printf("  graph readiness        %8.1f fps  (%.2f s)  -> %.2fx\n",
+              graph_report.aggregate_fps(), graph_report.wall_s, sched_ratio);
+  std::printf("  scheduler max |diff|: %.3g dB -> %s\n",
+              static_cast<double>(sched_diff),
+              sched_diff == 0.0f ? "MATCH" : "MISMATCH");
+
   // Gates. The concurrency ratio needs real cores; on single-core hosts the
   // server cannot beat sequential and the gate is informational only.
-  bool ok = match;
+  bool ok = match && sched_diff == 0.0f;
   if (hardware_threads() >= 4) {
     if (das_ratio < 3.0) {
       std::printf("WARNING: concurrent DAS serving below 3x sequential\n");
@@ -251,6 +307,12 @@ int main(int argc, char** argv) {
     // Stacking amortizes per-pass fixed cost; its pool fan-out share only
     // exists with real worker threads, so the gate needs cores too.
     std::printf("WARNING: batched inference did not beat one-at-a-time\n");
+    ok = false;
+  }
+  if (hardware_threads() >= 4 && sched_ratio < 0.8) {
+    // Readiness scheduling should at worst tie round-robin on a mixed
+    // load; a big regression means the executor is starving sessions.
+    std::printf("WARNING: graph scheduling well below round-robin\n");
     ok = false;
   }
   return ok ? 0 : 1;

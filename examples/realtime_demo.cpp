@@ -3,8 +3,8 @@
 // and write one PGM per frame — flip through them for a B-mode movie of
 // cysts drifting laterally while the tissue breathes axially.
 //
-//   ./realtime_demo [--frames N] [--out DIR] [--full] [--no-overlap]
-//                   [--serial-sink]
+//   ./realtime_demo [--frames N] [--angles N] [--out DIR] [--full]
+//                   [--no-overlap] [--serial-sink]
 //
 // The per-stage latency report at the end is the runtime's answer to the
 // paper's real-time question: after the first frame builds the ToF plan,
@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "beamform/compounding.hpp"
 #include "beamform/das.hpp"
 #include "common/rng.hpp"
 #include "io/writers.hpp"
@@ -28,9 +29,11 @@ namespace {
 
 void print_usage(const char* argv0) {
   std::printf(
-      "usage: %s [--frames N] [--out DIR] [--full] [--no-overlap]\n"
-      "       [--serial-sink] [--help]\n"
+      "usage: %s [--frames N] [--angles N] [--out DIR] [--full]\n"
+      "       [--no-overlap] [--serial-sink] [--help]\n"
       "  --frames N    cine frames to stream (default 24)\n"
+      "  --angles N    steered plane waves compounded per frame (default 1;\n"
+      "                N > 1 runs CPWC through parallel ToF graph nodes)\n"
       "  --out DIR     output directory for frame PGMs (default\n"
       "                realtime_out)\n"
       "  --full        paper-scale frame (128 channels, 368 x 128 grid)\n"
@@ -47,6 +50,7 @@ void print_usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace tvbf;
   std::int64_t frames = 24;
+  std::int64_t angles = 1;
   std::string out_dir = "realtime_out";
   bool full = false;
   bool overlap = true;
@@ -60,6 +64,12 @@ int main(int argc, char** argv) {
       frames = std::atoll(argv[++i]);
       if (frames < 1) {
         std::fprintf(stderr, "%s: --frames needs a positive count\n", argv[0]);
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--angles") == 0 && i + 1 < argc) {
+      angles = std::atoll(argv[++i]);
+      if (angles < 1) {
+        std::fprintf(stderr, "%s: --angles needs a positive count\n", argv[0]);
         return 1;
       }
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
@@ -99,6 +109,11 @@ int main(int argc, char** argv) {
   cine.axial_amplitude_m = 0.5e-3;
   cine.axial_period_s = 1.0;
   cine.sim.max_depth = grid.z_end() + 3e-3;
+  if (angles > 1) {
+    bf::CompoundingParams compounding;
+    compounding.num_angles = angles;
+    cine.compound_angles_rad = compounding.angles();
+  }
   auto source = std::make_shared<rt::CineSource>(probe, phantom, cine);
 
   rt::PipelineConfig cfg;
@@ -108,11 +123,12 @@ int main(int argc, char** argv) {
                         cfg);
 
   std::printf("streaming %lld cine frames (%lld channels, %lld x %lld "
-              "grid)...\n",
+              "grid, %lld angle%s/frame)...\n",
               static_cast<long long>(frames),
               static_cast<long long>(probe.num_elements),
               static_cast<long long>(grid.nz),
-              static_cast<long long>(grid.nx));
+              static_cast<long long>(grid.nx), static_cast<long long>(angles),
+              angles == 1 ? "" : "s");
   const auto write_frame = [&](std::int64_t index, const Tensor& db) {
     char name[64];
     std::snprintf(name, sizeof(name), "/frame_%03lld.pgm",

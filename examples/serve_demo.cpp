@@ -3,7 +3,8 @@
 // model so their frames ride the cross-session inference batcher — each
 // writing its B-mode frames through its own AsyncSink writer thread.
 //
-//   ./serve_demo [--frames N] [--out DIR] [--drop] [--no-batch]
+//   ./serve_demo [--frames N] [--angles N] [--out DIR] [--drop]
+//                [--no-batch]
 //
 // The report prints one row per session (frames, drops, fps, stage means)
 // plus the batcher and plan-cache counters. The Tiny-VBF model is randomly
@@ -16,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "beamform/compounding.hpp"
 #include "beamform/das.hpp"
 #include "common/rng.hpp"
 #include "io/writers.hpp"
@@ -29,8 +31,11 @@ namespace {
 
 void print_usage(const char* argv0) {
   std::printf(
-      "usage: %s [--frames N] [--out DIR] [--drop] [--no-batch] [--help]\n"
+      "usage: %s [--frames N] [--angles N] [--out DIR] [--drop]\n"
+      "       [--no-batch] [--help]\n"
       "  --frames N  cine frames per session (default 8)\n"
+      "  --angles N  steered plane waves compounded per frame (default 1;\n"
+      "              N > 1 adds parallel ToF graph nodes per session)\n"
       "  --out DIR   output directory (default serve_out)\n"
       "  --drop      drop-oldest backpressure instead of blocking\n"
       "  --no-batch  disable cross-session batched inference\n"
@@ -44,6 +49,7 @@ int main(int argc, char** argv) {
   using namespace tvbf;
   serve::tune_allocator();
   std::int64_t frames = 8;
+  std::int64_t angles = 1;
   std::string out_dir = "serve_out";
   bool drop = false;
   bool batch = true;
@@ -56,6 +62,12 @@ int main(int argc, char** argv) {
       frames = std::atoll(argv[++i]);
       if (frames < 1) {
         std::fprintf(stderr, "%s: --frames needs a positive count\n", argv[0]);
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--angles") == 0 && i + 1 < argc) {
+      angles = std::atoll(argv[++i]);
+      if (angles < 1) {
+        std::fprintf(stderr, "%s: --angles needs a positive count\n", argv[0]);
         return 1;
       }
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
@@ -95,6 +107,11 @@ int main(int argc, char** argv) {
     cine.lateral_speed_m_s = 3e-3;
     cine.axial_amplitude_m = 0.4e-3;
     cine.sim = sim;
+    if (angles > 1) {
+      bf::CompoundingParams compounding;
+      compounding.num_angles = angles;
+      cine.compound_angles_rad = compounding.angles();
+    }
     return std::make_shared<rt::CineSource>(probe, phantom, cine);
   };
 
@@ -145,11 +162,13 @@ int main(int argc, char** argv) {
   }
 
   std::printf("serving %zu sessions x %lld cine frames (%lld channels, "
-              "%lld x %lld grid, %s backpressure, batching %s)...\n",
+              "%lld x %lld grid, %lld angle%s/frame, %s backpressure, "
+              "batching %s)...\n",
               streams.size(), static_cast<long long>(frames),
               static_cast<long long>(probe.num_elements),
               static_cast<long long>(grid.nz),
-              static_cast<long long>(grid.nx), drop ? "drop-oldest" : "block",
+              static_cast<long long>(grid.nx), static_cast<long long>(angles),
+              angles == 1 ? "" : "s", drop ? "drop-oldest" : "block",
               batch ? "on" : "off");
 
   const serve::ServerReport report = server.run();

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel.hpp"
 #include "dsp/hilbert.hpp"
 #include "runtime/plan_cache.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -62,6 +63,44 @@ Tensor compound_acquisitions(const std::vector<us::Acquisition>& acqs,
   Tensor avg = scale(sum, 1.0f / static_cast<float>(acqs.size()));
   if (params.tof.analytic) return avg;
   return dsp::analytic_columns(avg);
+}
+
+void compound_cubes(const std::vector<const us::TofCube*>& cubes,
+                    us::TofCube& out) {
+  TVBF_REQUIRE(!cubes.empty(), "no cubes to compound");
+  const us::TofCube& first = *cubes.front();
+  const bool analytic = first.is_analytic();
+  for (const us::TofCube* c : cubes) {
+    TVBF_REQUIRE(c != nullptr, "null cube in compound list");
+    TVBF_REQUIRE(same_shape(c->real.shape(), first.real.shape()) &&
+                     c->is_analytic() == analytic,
+                 "compounded cubes must share shape and analytic flavor");
+  }
+  if (!same_shape(out.real.shape(), first.real.shape()))
+    out.real = Tensor(first.real.shape());
+  if (analytic) {
+    if (!same_shape(out.imag.shape(), first.imag.shape()))
+      out.imag = Tensor(first.imag.shape());
+  } else {
+    out.imag = Tensor();
+  }
+  out.grid = first.grid;
+
+  const float inv = 1.0f / static_cast<float>(cubes.size());
+  const std::size_t n = static_cast<std::size_t>(first.real.size());
+  auto fold = [&](float* dst, auto plane) {
+    parallel_for(0, n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        // Sum in angle order so the result is independent of chunking.
+        float acc = 0.0f;
+        for (const us::TofCube* c : cubes) acc += plane(*c)[i];
+        dst[i] = acc * inv;
+      }
+    });
+  };
+  fold(out.real.raw(), [](const us::TofCube& c) { return c.real.raw(); });
+  if (analytic)
+    fold(out.imag.raw(), [](const us::TofCube& c) { return c.imag.raw(); });
 }
 
 Tensor compound_plane_waves(const us::Probe& probe, const us::Phantom& phantom,

@@ -54,26 +54,32 @@ bool cholesky_inplace(ComplexMatrix& a) {
   return true;
 }
 
-std::vector<cd> cholesky_solve(const ComplexMatrix& chol,
-                               const std::vector<cd>& b) {
+void cholesky_solve_into(const ComplexMatrix& chol, const std::vector<cd>& b,
+                         std::vector<cd>& out) {
   const std::int64_t n = chol.n();
   TVBF_REQUIRE(static_cast<std::int64_t>(b.size()) == n,
                "rhs size does not match matrix dimension");
+  out.assign(b.begin(), b.end());
   // Forward substitution L y = b.
-  std::vector<cd> y(b);
   for (std::int64_t i = 0; i < n; ++i) {
-    cd s = y[static_cast<std::size_t>(i)];
+    cd s = out[static_cast<std::size_t>(i)];
     for (std::int64_t k = 0; k < i; ++k)
-      s -= chol.at(i, k) * y[static_cast<std::size_t>(k)];
-    y[static_cast<std::size_t>(i)] = s / chol.at(i, i);
+      s -= chol.at(i, k) * out[static_cast<std::size_t>(k)];
+    out[static_cast<std::size_t>(i)] = s / chol.at(i, i);
   }
   // Back substitution L^H x = y.
   for (std::int64_t i = n - 1; i >= 0; --i) {
-    cd s = y[static_cast<std::size_t>(i)];
+    cd s = out[static_cast<std::size_t>(i)];
     for (std::int64_t k = i + 1; k < n; ++k)
-      s -= std::conj(chol.at(k, i)) * y[static_cast<std::size_t>(k)];
-    y[static_cast<std::size_t>(i)] = s / chol.at(i, i);
+      s -= std::conj(chol.at(k, i)) * out[static_cast<std::size_t>(k)];
+    out[static_cast<std::size_t>(i)] = s / chol.at(i, i);
   }
+}
+
+std::vector<cd> cholesky_solve(const ComplexMatrix& chol,
+                               const std::vector<cd>& b) {
+  std::vector<cd> y;
+  cholesky_solve_into(chol, b, y);
   return y;
 }
 

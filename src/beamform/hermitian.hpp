@@ -50,6 +50,11 @@ bool cholesky_inplace(ComplexMatrix& a);
 std::vector<cd> cholesky_solve(const ComplexMatrix& chol,
                                const std::vector<cd>& b);
 
+/// Allocation-free variant: solves into `out` (resized to b.size()).
+/// Per-pixel solvers (MVDR) reuse one `out` across a whole scanline.
+void cholesky_solve_into(const ComplexMatrix& chol, const std::vector<cd>& b,
+                         std::vector<cd>& out);
+
 /// Convenience: solves A x = b for Hermitian positive-definite A.
 /// Throws InvalidArgument if A is not positive definite.
 std::vector<cd> solve_hpd(ComplexMatrix a, const std::vector<cd>& b);

@@ -26,75 +26,83 @@ Tensor MvdrBeamformer::beamform(const us::TofCube& cube) const {
   const std::int64_t K = nch - L + 1;  // number of smoothing subapertures
 
   Tensor iq({nz, nx, 2});
-  parallel_for_each(0, static_cast<std::size_t>(nz), [&](std::size_t zi) {
-    const auto iz = static_cast<std::int64_t>(zi);
+  parallel_for(0, static_cast<std::size_t>(nz), [&](std::size_t z_begin,
+                                                    std::size_t z_end) {
+    // Per-chunk workspace: every matrix/vector the per-pixel solve needs
+    // is allocated once here and reused across the whole chunk. The
+    // covariance copy, forward-backward mirror and solve vector used to be
+    // reallocated per PIXEL, which dominated label-generation time.
     ComplexMatrix R(L);
+    ComplexMatrix Rb(L);
+    ComplexMatrix chol(L);
     std::vector<cd> y(static_cast<std::size_t>(nch));
-    std::vector<cd> sub(static_cast<std::size_t>(L));
+    std::vector<cd> Rinv_a;
     const std::vector<cd> a(static_cast<std::size_t>(L), cd(1.0, 0.0));
-    for (std::int64_t ix = 0; ix < nx; ++ix) {
-      const float* re = cube.real.raw() + (iz * nx + ix) * nch;
-      const float* im = cube.imag.raw() + (iz * nx + ix) * nch;
-      for (std::int64_t e = 0; e < nch; ++e)
-        y[static_cast<std::size_t>(e)] = cd(re[e], im[e]);
+    for (std::size_t zi = z_begin; zi < z_end; ++zi) {
+      const auto iz = static_cast<std::int64_t>(zi);
+      for (std::int64_t ix = 0; ix < nx; ++ix) {
+        const float* re = cube.real.raw() + (iz * nx + ix) * nch;
+        const float* im = cube.imag.raw() + (iz * nx + ix) * nch;
+        for (std::int64_t e = 0; e < nch; ++e)
+          y[static_cast<std::size_t>(e)] = cd(re[e], im[e]);
 
-      // Spatially smoothed covariance over K sliding subapertures.
-      R.clear();
-      const double w_sub = 1.0 / static_cast<double>(K);
-      for (std::int64_t k = 0; k < K; ++k)
-        R.rank1_update(y.data() + k, w_sub);
-      if (params_.forward_backward) {
-        // R <- (R + J conj(R) J) / 2, with J the exchange matrix.
-        ComplexMatrix Rb(L);
-        for (std::int64_t i = 0; i < L; ++i)
-          for (std::int64_t j = 0; j < L; ++j)
-            Rb.at(i, j) = std::conj(R.at(L - 1 - i, L - 1 - j));
-        for (std::int64_t i = 0; i < L * L; ++i)
-          R.data()[static_cast<std::size_t>(i)] =
-              0.5 * (R.data()[static_cast<std::size_t>(i)] +
-                     Rb.data()[static_cast<std::size_t>(i)]);
-      }
+        // Spatially smoothed covariance over K sliding subapertures.
+        R.clear();
+        const double w_sub = 1.0 / static_cast<double>(K);
+        for (std::int64_t k = 0; k < K; ++k)
+          R.rank1_update(y.data() + k, w_sub);
+        if (params_.forward_backward) {
+          // R <- (R + J conj(R) J) / 2, with J the exchange matrix.
+          for (std::int64_t i = 0; i < L; ++i)
+            for (std::int64_t j = 0; j < L; ++j)
+              Rb.at(i, j) = std::conj(R.at(L - 1 - i, L - 1 - j));
+          for (std::int64_t i = 0; i < L * L; ++i)
+            R.data()[static_cast<std::size_t>(i)] =
+                0.5 * (R.data()[static_cast<std::size_t>(i)] +
+                       Rb.data()[static_cast<std::size_t>(i)]);
+        }
 
-      const double tr = R.trace_real();
-      if (!(tr > 0.0)) {
-        // No signal at this pixel (e.g. outside the acquisition window).
-        iq.raw()[(iz * nx + ix) * 2] = 0.0f;
-        iq.raw()[(iz * nx + ix) * 2 + 1] = 0.0f;
-        continue;
-      }
-      R.add_diagonal(params_.diagonal_loading * tr / static_cast<double>(L));
+        const double tr = R.trace_real();
+        if (!(tr > 0.0)) {
+          // No signal at this pixel (e.g. outside the acquisition window).
+          iq.raw()[(iz * nx + ix) * 2] = 0.0f;
+          iq.raw()[(iz * nx + ix) * 2 + 1] = 0.0f;
+          continue;
+        }
+        R.add_diagonal(params_.diagonal_loading * tr / static_cast<double>(L));
 
-      // w = R^-1 a / (a^H R^-1 a).
-      ComplexMatrix chol = R;
-      if (!cholesky_inplace(chol)) {
-        // Heavier loading as a fallback; covariance was near-singular.
+        // w = R^-1 a / (a^H R^-1 a).
         chol = R;
-        chol.add_diagonal(0.1 * tr / static_cast<double>(L));
-        TVBF_ENSURE(cholesky_inplace(chol),
-                    "MVDR covariance not positive definite after loading");
-      }
-      const auto Rinv_a = cholesky_solve(chol, a);
-      cd denom(0.0, 0.0);
-      for (std::int64_t i = 0; i < L; ++i)
-        denom += Rinv_a[static_cast<std::size_t>(i)];  // a^H R^-1 a, a = 1
-      if (std::abs(denom) < 1e-30) {
-        iq.raw()[(iz * nx + ix) * 2] = 0.0f;
-        iq.raw()[(iz * nx + ix) * 2 + 1] = 0.0f;
-        continue;
-      }
-
-      // Output: average of w^H y_k over subapertures.
-      cd out(0.0, 0.0);
-      for (std::int64_t k = 0; k < K; ++k) {
-        cd dot(0.0, 0.0);
+        if (!cholesky_inplace(chol)) {
+          // Heavier loading as a fallback; covariance was near-singular.
+          chol = R;
+          chol.add_diagonal(0.1 * tr / static_cast<double>(L));
+          TVBF_ENSURE(cholesky_inplace(chol),
+                      "MVDR covariance not positive definite after loading");
+        }
+        cholesky_solve_into(chol, a, Rinv_a);
+        cd denom(0.0, 0.0);
         for (std::int64_t i = 0; i < L; ++i)
-          dot += std::conj(Rinv_a[static_cast<std::size_t>(i)]) *
-                 y[static_cast<std::size_t>(k + i)];
-        out += dot;
+          denom += Rinv_a[static_cast<std::size_t>(i)];  // a^H R^-1 a, a = 1
+        if (std::abs(denom) < 1e-30) {
+          iq.raw()[(iz * nx + ix) * 2] = 0.0f;
+          iq.raw()[(iz * nx + ix) * 2 + 1] = 0.0f;
+          continue;
+        }
+
+        // Output: average of w^H y_k over subapertures.
+        cd out(0.0, 0.0);
+        for (std::int64_t k = 0; k < K; ++k) {
+          cd dot(0.0, 0.0);
+          for (std::int64_t i = 0; i < L; ++i)
+            dot += std::conj(Rinv_a[static_cast<std::size_t>(i)]) *
+                   y[static_cast<std::size_t>(k + i)];
+          out += dot;
+        }
+        out /= std::conj(denom) * static_cast<double>(K);
+        iq.raw()[(iz * nx + ix) * 2] = static_cast<float>(out.real());
+        iq.raw()[(iz * nx + ix) * 2 + 1] = static_cast<float>(out.imag());
       }
-      out /= std::conj(denom) * static_cast<double>(K);
-      iq.raw()[(iz * nx + ix) * 2] = static_cast<float>(out.real());
-      iq.raw()[(iz * nx + ix) * 2 + 1] = static_cast<float>(out.imag());
     }
   }, /*min_grain=*/1);
   return iq;

@@ -1,0 +1,49 @@
+#include "graph/arena.hpp"
+
+#include <utility>
+
+namespace tvbf::graph {
+
+Tensor BufferArena::acquire(const Shape& shape) {
+  {
+    std::lock_guard lock(mu_);
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      if (same_shape(it->shape(), shape)) {
+        Tensor t = std::move(*it);
+        free_.erase(it);
+        ++reuses_;
+        ++outstanding_;
+        return t;
+      }
+    }
+    ++allocations_;
+    ++outstanding_;
+  }
+  // Allocate outside the lock; zero-init cost is paid only on first use of
+  // a shape (steady-state acquires hit the free list above).
+  return Tensor(shape);
+}
+
+void BufferArena::release(Tensor&& t) {
+  if (t.size() == 0) return;
+  std::lock_guard lock(mu_);
+  if (outstanding_ > 0) --outstanding_;
+  free_.push_back(std::move(t));
+}
+
+BufferArena::Stats BufferArena::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s;
+  s.allocations = allocations_;
+  s.reuses = reuses_;
+  s.outstanding = outstanding_;
+  s.free_buffers = free_.size();
+  return s;
+}
+
+void BufferArena::clear() {
+  std::lock_guard lock(mu_);
+  free_.clear();
+}
+
+}  // namespace tvbf::graph

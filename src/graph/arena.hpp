@@ -1,0 +1,49 @@
+// Reusable per-frame buffer arena.
+//
+// Streaming graphs need short-lived tensors whose shapes repeat every frame
+// (one ToF cube plane per steering angle, scratch IQ planes). Allocating
+// them per frame churns the allocator and fragments under multi-session
+// load; the arena recycles released buffers by shape instead. Contents of a
+// reacquired buffer are stale — every acquirer must fully overwrite it.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace tvbf::graph {
+
+/// Thread-safe shape-keyed tensor recycler.
+class BufferArena {
+ public:
+  struct Stats {
+    std::size_t allocations = 0;  // acquires that had to allocate
+    std::size_t reuses = 0;       // acquires served from the free list
+    std::size_t outstanding = 0;  // acquired and not yet released
+    std::size_t free_buffers = 0; // released and awaiting reuse
+  };
+
+  /// Returns a tensor of exactly `shape`: a recycled buffer when one of the
+  /// same shape is free (contents stale!), otherwise a fresh allocation.
+  Tensor acquire(const Shape& shape);
+
+  /// Returns a buffer to the free list for reuse. Empty tensors are
+  /// dropped (nothing to recycle).
+  void release(Tensor&& t);
+
+  Stats stats() const;
+
+  /// Frees every pooled buffer (outstanding count is kept).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Tensor> free_;
+  std::size_t allocations_ = 0;
+  std::size_t reuses_ = 0;
+  std::size_t outstanding_ = 0;
+};
+
+}  // namespace tvbf::graph

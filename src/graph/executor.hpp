@@ -1,0 +1,83 @@
+// Readiness scheduler for frame graphs.
+//
+// One Executor owns a small worker set and drains a shared ready queue of
+// (launched graph, node) work items: a node becomes ready the moment its last
+// dependency completes, regardless of which session's graph it belongs to.
+// That replaces per-session whole-frame turn-taking — with many sessions in
+// flight the workers always pick up whatever stage is runnable next, and a
+// graph whose beamform node is still parked behind an inference-batch gate
+// does not block another session's ToF nodes.
+//
+// Nodes may return Status::kDeferred to park themselves (e.g. a batching gate
+// waiting for quorum across sessions); some external event later calls
+// resolve() to complete them. The optional idle_work hook runs when the ready
+// queue drains, letting the owner flush such parked work so deferred nodes
+// never stall the stream.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+
+#include "graph/frame_graph.hpp"
+
+namespace tvbf::graph {
+
+/// Schedules launched FrameGraphs' nodes across a shared worker set by
+/// readiness. Thread-safe; one launch may be in flight per graph object at a
+/// time (the same graph is relaunched frame after frame).
+class Executor {
+ public:
+  struct Options {
+    /// Worker threads (0 = hardware_threads()).
+    std::size_t num_workers = 0;
+    /// When true each worker holds a ScopedSerial for its lifetime, so node
+    /// bodies run their parallel_fors serially inline and distinct nodes
+    /// scale across workers instead of contending for the pool's job slot.
+    bool serialize_nodes = true;
+    /// Called (unlocked) by a worker whenever the ready queue is empty,
+    /// before it blocks. Return true if the hook made progress (more work
+    /// may now be queued); false to let the worker sleep.
+    std::function<bool()> idle_work;
+  };
+
+  /// Fired exactly once per launch, after the last node completes or the
+  /// first node failure has drained. `error` is null on success. Invoked on
+  /// a worker (or resolving/failing) thread with no executor lock held.
+  using Completion = std::function<void(std::exception_ptr error)>;
+
+  explicit Executor(const Options& options);
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Submits one execution of `g`: all roots are enqueued immediately and
+  /// `done` fires after every node has completed (or the launch failed).
+  /// The graph object and all storage its node bodies capture must stay
+  /// alive until `done` fires. Throws if `g` is empty or already in flight.
+  void launch(const FrameGraph& g, Completion done);
+
+  /// Completes a node that returned Status::kDeferred, making its
+  /// successors eligible. Safe from any thread, including node bodies of
+  /// other graphs.
+  void resolve(const FrameGraph& g, NodeId id);
+
+  /// Fails the in-flight launch of `g`: unfinished nodes are abandoned and
+  /// the completion fires with `error` once running nodes drain. No-op if
+  /// the graph is not in flight or already failed.
+  void fail(const FrameGraph& g, std::exception_ptr error);
+
+  /// Number of worker threads.
+  std::size_t workers() const;
+
+  /// Stops the workers. Launches still in flight fire their completions
+  /// with an error. Called by the destructor.
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tvbf::graph

@@ -8,10 +8,16 @@
 namespace tvbf::rt {
 
 ReplaySource::ReplaySource(std::vector<us::Acquisition> acquisitions,
-                           std::int64_t total_frames, double frame_rate_hz)
-    : acquisitions_(std::move(acquisitions)) {
+                           std::int64_t total_frames, double frame_rate_hz,
+                           std::size_t angles_per_frame)
+    : acquisitions_(std::move(acquisitions)),
+      angles_per_frame_(angles_per_frame) {
   TVBF_REQUIRE(!acquisitions_.empty(), "replay source needs acquisitions");
   TVBF_REQUIRE(frame_rate_hz > 0.0, "frame rate must be positive");
+  TVBF_REQUIRE(angles_per_frame_ >= 1, "replay needs >= 1 angle per frame");
+  TVBF_REQUIRE(acquisitions_.size() % angles_per_frame_ == 0,
+               "replay recording length must be a whole number of "
+               "angles_per_frame groups");
   for (const auto& acq : acquisitions_) {
     TVBF_REQUIRE(acq.rf.rank() == 2 && acq.num_samples() > 1,
                  "replay acquisition holds no RF data");
@@ -19,9 +25,10 @@ ReplaySource::ReplaySource(std::vector<us::Acquisition> acquisitions,
         acq.probe.num_elements == acquisitions_.front().probe.num_elements,
         "replay acquisitions use different probes");
   }
-  total_frames_ = total_frames < 0
-                      ? static_cast<std::int64_t>(acquisitions_.size())
-                      : total_frames;
+  total_frames_ =
+      total_frames < 0 ? static_cast<std::int64_t>(acquisitions_.size() /
+                                                   angles_per_frame_)
+                       : total_frames;
   frame_interval_s_ = 1.0 / frame_rate_hz;
 }
 
@@ -31,10 +38,17 @@ const us::Probe& ReplaySource::probe() const {
 
 bool ReplaySource::next(Frame& frame) {
   if (produced_ >= total_frames_) return false;
+  const std::size_t num_groups = acquisitions_.size() / angles_per_frame_;
+  const std::size_t group = static_cast<std::size_t>(
+      produced_ % static_cast<std::int64_t>(num_groups));
   frame.index = produced_;
   frame.time_s = static_cast<double>(produced_) * frame_interval_s_;
-  frame.acq = acquisitions_[static_cast<std::size_t>(
-      produced_ % static_cast<std::int64_t>(acquisitions_.size()))];
+  frame.acq = acquisitions_[group * angles_per_frame_];
+  frame.extra.assign(
+      acquisitions_.begin() +
+          static_cast<std::ptrdiff_t>(group * angles_per_frame_ + 1),
+      acquisitions_.begin() +
+          static_cast<std::ptrdiff_t>((group + 1) * angles_per_frame_));
   ++produced_;
   return true;
 }
@@ -88,8 +102,30 @@ bool CineSource::next(Frame& frame) {
                                                     produced_ + 1);
   frame.index = produced_;
   frame.time_s = t;
-  frame.acq = us::simulate_plane_wave(probe_, phantom_at(t),
-                                      params_.steering_angle_rad, sim);
+  frame.extra.clear();
+  if (params_.compound_angles_rad.empty()) {
+    frame.acq = us::simulate_plane_wave(probe_, phantom_at(t),
+                                        params_.steering_angle_rad, sim);
+  } else {
+    // One steered transmit per angle of the same cine instant, with noise
+    // decorrelated across transmits exactly as bf::compound_plane_waves
+    // does for its independent receive events.
+    const us::Phantom moved = phantom_at(t);
+    us::SimParams per_angle = sim;
+    bool first = true;
+    for (const double a : params_.compound_angles_rad) {
+      per_angle.seed = sim.seed + static_cast<std::uint64_t>(
+                                      std::llround(a * 1e6)) * 7919u;
+      us::Acquisition acq =
+          us::simulate_plane_wave(probe_, moved, a, per_angle);
+      if (first) {
+        frame.acq = std::move(acq);
+        first = false;
+      } else {
+        frame.extra.push_back(std::move(acq));
+      }
+    }
+  }
   ++produced_;
   return true;
 }

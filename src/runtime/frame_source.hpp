@@ -17,11 +17,21 @@
 
 namespace tvbf::rt {
 
-/// One unit of work flowing through the pipeline.
+/// One unit of work flowing through the pipeline. A frame normally holds a
+/// single plane-wave acquisition; for coherent compounding it carries one
+/// steered transmit per angle (`acq` plus `extra`), which the frame graph
+/// ToF-corrects in parallel and folds through one compound node.
 struct Frame {
   std::int64_t index = 0;  ///< 0-based position in the stream
   double time_s = 0.0;     ///< acquisition timestamp within the cine
-  us::Acquisition acq;
+  us::Acquisition acq;     ///< first (or only) steered transmit
+  /// Additional steered transmits of the same event (compounding).
+  std::vector<us::Acquisition> extra;
+
+  std::size_t num_acquisitions() const { return 1 + extra.size(); }
+  const us::Acquisition& acquisition(std::size_t i) const {
+    return i == 0 ? acq : extra[i - 1];
+  }
 };
 
 /// Produces a finite stream of acquisitions sharing one probe.
@@ -45,12 +55,16 @@ class FrameSource {
 };
 
 /// Replays pre-acquired acquisitions round-robin until `total_frames` have
-/// been produced (defaults to one pass over the recording).
+/// been produced (defaults to one pass over the recording). With
+/// `angles_per_frame > 1` consecutive acquisitions are grouped into one
+/// multi-angle frame (recording order: all angles of event 0, then event 1,
+/// ...), so a compounded recording replays as compounded frames.
 class ReplaySource : public FrameSource {
  public:
   explicit ReplaySource(std::vector<us::Acquisition> acquisitions,
                         std::int64_t total_frames = -1,
-                        double frame_rate_hz = 30.0);
+                        double frame_rate_hz = 30.0,
+                        std::size_t angles_per_frame = 1);
 
   std::string name() const override { return "replay"; }
   const us::Probe& probe() const override;
@@ -62,6 +76,7 @@ class ReplaySource : public FrameSource {
   std::vector<us::Acquisition> acquisitions_;
   std::int64_t total_frames_ = 0;
   double frame_interval_s_ = 0.0;
+  std::size_t angles_per_frame_ = 1;
   std::int64_t produced_ = 0;
 };
 
@@ -76,6 +91,11 @@ struct CineParams {
   double axial_amplitude_m = 0.5e-3;
   double axial_period_s = 1.0;       ///< oscillation period
   double steering_angle_rad = 0.0;
+  /// When non-empty, every frame carries one steered transmit per listed
+  /// angle (coherent-compounding input; `steering_angle_rad` is ignored).
+  /// Noise is additionally decorrelated across the angles of one frame,
+  /// matching bf::compound_plane_waves' independent receive events.
+  std::vector<double> compound_angles_rad;
   us::SimParams sim = us::SimParams::in_silico();
   /// Decorrelate thermal noise across frames (a real receive chain does);
   /// switch off for bit-reproducible frame pairs.

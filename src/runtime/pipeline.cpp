@@ -8,8 +8,11 @@
 #include <thread>
 #include <utility>
 
+#include "beamform/compounding.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "dsp/hilbert.hpp"
+#include "graph/executor.hpp"
 #include "runtime/plan_cache.hpp"
 #include "us/tof.hpp"
 
@@ -17,7 +20,7 @@ namespace tvbf::rt {
 
 namespace {
 // Stage indices into PipelineReport::stages.
-enum Stage : std::size_t { kSource, kTof, kBeamform, kPost, kSink };
+enum Stage : std::size_t { kSource, kTof, kCompound, kBeamform, kPost, kSink };
 }  // namespace
 
 void StageStats::record(double seconds) {
@@ -42,40 +45,98 @@ FrameProcessor::FrameProcessor(std::shared_ptr<const bf::Beamformer> beamformer,
                "dynamic range must be positive");
 }
 
-const us::TofCube& FrameProcessor::apply_tof(const Frame& frame) {
+void FrameProcessor::prepare(const Frame& frame) {
+  num_angles_ = frame.num_acquisitions();
+  times_ = StageTimes{};
+  angle_tof_s_.assign(num_angles_, 0.0);
+  workspaces_.resize(num_angles_);
+  plans_.assign(num_angles_, nullptr);
   if (config_.use_plan_cache) {
-    // The cache makes repeated keys O(1); holding the shared_ptr keeps the
-    // stream's plan alive even if a larger working set evicts it.
-    plan_ = PlanCache::instance().get_for(frame.acq, config_.grid,
-                                          config_.tof.interp);
-    plan_->apply(frame.acq, config_.tof.analytic, cube_, &workspace_);
-  } else {
-    cube_ = us::tof_correct(frame.acq, config_.grid, config_.tof);
+    // One cached plan per steering angle; holding the shared_ptrs keeps the
+    // stream's plans alive even if a larger working set evicts them.
+    for (std::size_t i = 0; i < num_angles_; ++i)
+      plans_[i] = PlanCache::instance().get_for(
+          frame.acquisition(i), config_.grid, config_.tof.interp);
   }
+  slots_.clear();
+  if (num_angles_ > 1) {
+    // Per-angle destination cubes, recycled through the arena frame after
+    // frame (apply() reuses correctly-shaped buffers without allocating).
+    const Shape cube_shape{config_.grid.nz, config_.grid.nx,
+                           frame.acq.probe.num_elements};
+    slots_.resize(num_angles_);
+    for (auto& slot : slots_) {
+      slot.real = arena_.acquire(cube_shape);
+      slot.imag = config_.tof.analytic ? arena_.acquire(cube_shape) : Tensor();
+      slot.grid = config_.grid;
+    }
+  }
+}
+
+void FrameProcessor::apply_tof_angle(const Frame& frame, std::size_t angle) {
+  TVBF_REQUIRE(angle < num_angles_, "angle index out of range");
+  Timer t;
+  us::TofCube& target = num_angles_ > 1 ? slots_[angle] : cube_;
+  if (config_.use_plan_cache) {
+    plans_[angle]->apply(frame.acquisition(angle), config_.tof.analytic,
+                         target, &workspaces_[angle]);
+  } else {
+    target = us::tof_correct(frame.acquisition(angle), config_.grid,
+                             config_.tof);
+  }
+  angle_tof_s_[angle] = t.seconds();
+}
+
+const us::TofCube& FrameProcessor::compound() {
+  Timer t;
+  times_.tof_s = 0.0;
+  for (const double s : angle_tof_s_) times_.tof_s += s;
+  if (num_angles_ > 1) {
+    std::vector<const us::TofCube*> cubes;
+    cubes.reserve(slots_.size());
+    for (const auto& slot : slots_) cubes.push_back(&slot);
+    bf::compound_cubes(cubes, cube_);
+    for (auto& slot : slots_) {
+      arena_.release(std::move(slot.real));
+      arena_.release(std::move(slot.imag));
+    }
+    slots_.clear();
+  }
+  times_.compound_s = t.seconds();
   return cube_;
+}
+
+void FrameProcessor::beamform() {
+  Timer t;
+  iq_ = beamformer_->beamform(cube_);
+  times_.beamform_s = t.seconds();
+}
+
+FrameOutput FrameProcessor::finish(const Frame& frame) {
+  Timer t;
+  envelope_ = dsp::envelope_iq(iq_);
+  db_ = dsp::log_compress(envelope_, config_.dynamic_range_db);
+  times_.post_s = t.seconds();
+  return FrameOutput{frame.index, frame.time_s, iq_, envelope_, db_};
 }
 
 FrameOutput FrameProcessor::finish(const Frame& frame, Tensor iq) {
   iq_ = std::move(iq);
-  envelope_ = dsp::envelope_iq(iq_);
-  db_ = dsp::log_compress(envelope_, config_.dynamic_range_db);
-  return FrameOutput{frame.index, frame.time_s, iq_, envelope_, db_};
+  return finish(frame);
+}
+
+const us::TofCube& FrameProcessor::apply_tof(const Frame& frame) {
+  prepare(frame);
+  for (std::size_t i = 0; i < num_angles_; ++i) apply_tof_angle(frame, i);
+  return compound();
 }
 
 FrameOutput FrameProcessor::process(const Frame& frame, StageTimes* times) {
-  Timer t;
   apply_tof(frame);
-  if (times) times->tof_s = t.seconds();
-
-  t.reset();
-  iq_ = beamformer_->beamform(cube_);
-  if (times) times->beamform_s = t.seconds();
-
-  t.reset();
-  envelope_ = dsp::envelope_iq(iq_);
-  db_ = dsp::log_compress(envelope_, config_.dynamic_range_db);
-  if (times) times->post_s = t.seconds();
-  return FrameOutput{frame.index, frame.time_s, iq_, envelope_, db_};
+  beamform();
+  const FrameOutput out = finish(frame);
+  if (times) *times = times_;
+  return out;
 }
 
 Pipeline::Pipeline(std::shared_ptr<FrameSource> source,
@@ -86,13 +147,21 @@ Pipeline::Pipeline(std::shared_ptr<FrameSource> source,
   TVBF_REQUIRE(source_ != nullptr, "pipeline needs a frame source");
 }
 
+Pipeline::~Pipeline() = default;
+
+void Pipeline::record_stage_times(PipelineReport& report) {
+  const FrameProcessor::StageTimes& times = processor_.last_times();
+  report.stages[kTof].record(times.tof_s);
+  report.stages[kCompound].record(times.compound_s);
+  report.stages[kBeamform].record(times.beamform_s);
+  report.stages[kPost].record(times.post_s);
+}
+
 void Pipeline::process_frame(Frame& frame, const Sink& sink,
                              PipelineReport& report) {
   FrameProcessor::StageTimes times;
   const FrameOutput out = processor_.process(frame, &times);
-  report.stages[kTof].record(times.tof_s);
-  report.stages[kBeamform].record(times.beamform_s);
-  report.stages[kPost].record(times.post_s);
+  record_stage_times(report);
 
   Timer t;
   if (sink) sink(out);
@@ -100,10 +169,93 @@ void Pipeline::process_frame(Frame& frame, const Sink& sink,
   ++report.frames;
 }
 
+void Pipeline::build_graph(std::size_t num_angles) {
+  // One ToF node per steering angle -> compound -> beamform -> postprocess.
+  // Node bodies read the current frame through graph_frame_ (stable slot
+  // rebound per launch) and leave the FrameOutput in graph_out_; the sink
+  // stays on the driving thread to preserve the run() contract.
+  graph_->clear();
+  std::vector<graph::NodeId> tof_ids;
+  tof_ids.reserve(num_angles);
+  for (std::size_t i = 0; i < num_angles; ++i) {
+    tof_ids.push_back(graph_->add(
+        "tof[" + std::to_string(i) + "]", {}, [this, i] {
+          processor_.apply_tof_angle(*graph_frame_, i);
+          return graph::Status::kDone;
+        }));
+  }
+  const graph::NodeId compound = graph_->add("compound", tof_ids, [this] {
+    processor_.compound();
+    return graph::Status::kDone;
+  });
+  const graph::NodeId beamform = graph_->add("beamform", {compound}, [this] {
+    processor_.beamform();
+    return graph::Status::kDone;
+  });
+  graph_->add("postprocess", {beamform}, [this] {
+    graph_out_.emplace(processor_.finish(*graph_frame_));
+    return graph::Status::kDone;
+  });
+}
+
+void Pipeline::process_frame_graph(Frame& frame, const Sink& sink,
+                                   PipelineReport& report) {
+  processor_.prepare(frame);
+  if (processor_.num_angles() != graph_angles_) {
+    build_graph(processor_.num_angles());
+    graph_angles_ = processor_.num_angles();
+  }
+  graph_frame_ = &frame;
+  graph_out_.reset();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;
+  executor_->launch(*graph_, [&](std::exception_ptr e) {
+    const std::lock_guard<std::mutex> lock(mu);
+    error = e;
+    done = true;
+    cv.notify_all();
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+  }
+  if (error) std::rethrow_exception(error);
+
+  record_stage_times(report);
+  Timer t;
+  if (sink) sink(*graph_out_);
+  report.stages[kSink].record(t.seconds());
+  ++report.frames;
+}
+
 PipelineReport Pipeline::run(const Sink& sink) {
   PipelineReport report;
-  for (const char* name : {"source", "tof", "beamform", "postprocess", "sink"})
+  for (const char* name :
+       {"source", "tof", "compound", "beamform", "postprocess", "sink"})
     report.stages.push_back(StageStats{.name = name});
+
+  const bool graph_mode =
+      processor_.config().scheduling == StageScheduling::kGraph;
+  if (graph_mode && !executor_) {
+    // A solo stream wants latency, not throughput: node bodies keep their
+    // pool fan-out (serialize_nodes=false) and the executor only needs
+    // enough workers to cover concurrent ToF-angle nodes.
+    graph::Executor::Options opts;
+    opts.num_workers = hardware_threads();
+    opts.serialize_nodes = false;
+    executor_ = std::make_unique<graph::Executor>(opts);
+    graph_ = std::make_unique<graph::FrameGraph>();
+    graph_angles_ = 0;
+  }
+  const auto step = [&](Frame& frame) {
+    if (graph_mode)
+      process_frame_graph(frame, sink, report);
+    else
+      process_frame(frame, sink, report);
+  };
 
   const auto cache_before = PlanCache::instance().stats();
   source_->reset();
@@ -116,7 +268,7 @@ PipelineReport Pipeline::run(const Sink& sink) {
       const bool have = source_->next(frame);
       if (!have) break;
       report.stages[kSource].record(t.seconds());
-      process_frame(frame, sink, report);
+      step(frame);
     }
   } else {
     // Producer/consumer with a depth-2 queue: the source acquires frame
@@ -168,7 +320,7 @@ PipelineReport Pipeline::run(const Sink& sink) {
           queue.pop_front();
           cv_space.notify_one();
         }
-        process_frame(frame, sink, report);
+        step(frame);
       }
     } catch (...) {
       {

@@ -12,14 +12,33 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "beamform/beamformer.hpp"
+#include "graph/arena.hpp"
 #include "runtime/frame_source.hpp"
 #include "runtime/tof_plan.hpp"
 
+namespace tvbf::graph {
+class Executor;
+class FrameGraph;
+}  // namespace tvbf::graph
+
 namespace tvbf::rt {
+
+/// How the per-frame stages are executed.
+enum class StageScheduling {
+  /// Build a graph::FrameGraph per frame shape and run it on a readiness
+  /// executor: one ToF node per steering angle (parallel for compounded
+  /// frames) feeding compound -> beamform -> postprocess. The default.
+  kGraph,
+  /// Run the stages inline on the driving thread in a fixed chain (the
+  /// pre-graph path, kept for A/B benchmarking). Output is bit-identical
+  /// to kGraph.
+  kLinear,
+};
 
 /// Pipeline controls.
 struct PipelineConfig {
@@ -32,6 +51,7 @@ struct PipelineConfig {
   bool use_plan_cache = true;
   /// Acquire frame k+1 on a producer thread while frame k is processed.
   bool overlap = true;
+  StageScheduling scheduling = StageScheduling::kGraph;
 };
 
 /// Latency accumulator for one pipeline stage.
@@ -50,9 +70,10 @@ struct StageStats {
 struct PipelineReport {
   std::int64_t frames = 0;
   double wall_s = 0.0;
-  /// source, tof, beamform, postprocess, sink — in flow order. With
-  /// overlap the source stage runs concurrently, so stage totals can
-  /// exceed wall_s.
+  /// source, tof, compound, beamform, postprocess, sink — in flow order.
+  /// With overlap the source stage runs concurrently, so stage totals can
+  /// exceed wall_s. The tof stage records the summed per-angle time of
+  /// each frame; compound is zero-cost for single-angle streams.
   std::vector<StageStats> stages;
   std::uint64_t plan_cache_hits = 0;    ///< delta over this run
   std::uint64_t plan_cache_misses = 0;  ///< delta over this run
@@ -72,16 +93,25 @@ struct FrameOutput {
   const Tensor& db;        ///< (nz, nx) log-compressed B-mode
 };
 
-/// Reusable per-frame processing state for one stream: the cached ToF plan
-/// handle, the ToF cube + channel workspace and the output image tensors.
-/// Pipeline drives one FrameProcessor internally; the serving layer
-/// (src/serve) owns one per session and steps it from its scheduler.
-/// Not thread-safe — one FrameProcessor is stepped by one thread at a time.
+/// Reusable per-frame processing state for one stream: the cached per-angle
+/// ToF plan handles, per-angle cube slots (arena-recycled), the compounded
+/// cube + channel workspaces and the output image tensors. Pipeline drives
+/// one FrameProcessor internally; the serving layer (src/serve) owns one
+/// per session and steps it from its scheduler.
+///
+/// Stepping is exposed at graph-node granularity so a frame graph can run
+/// the stages by readiness: prepare() latches one frame's plans and slots,
+/// then apply_tof_angle() is safe to call concurrently for DISTINCT angle
+/// indices, and compound() / beamform() / finish() complete the frame in
+/// order. Everything else is not thread-safe — one frame is stepped by one
+/// logical owner at a time.
 class FrameProcessor {
  public:
-  /// Wall-clock seconds spent per stage by the last step.
+  /// Wall-clock seconds spent per stage by the last step. `tof_s` is the
+  /// sum over the frame's angles (the work done, not the critical path).
   struct StageTimes {
     double tof_s = 0.0;
+    double compound_s = 0.0;
     double beamform_s = 0.0;
     double post_s = 0.0;
   };
@@ -91,17 +121,49 @@ class FrameProcessor {
   FrameProcessor(std::shared_ptr<const bf::Beamformer> beamformer,
                  PipelineConfig config);
 
-  /// Full per-frame step: ToF -> beamform -> envelope/log-compression.
-  /// The returned FrameOutput references processor-owned buffers that the
-  /// next step overwrites.
+  /// Full per-frame step: ToF (all angles) -> compound -> beamform ->
+  /// envelope/log-compression. The returned FrameOutput references
+  /// processor-owned buffers that the next step overwrites.
   FrameOutput process(const Frame& frame, StageTimes* times = nullptr);
 
-  /// Split stepping for externally batched beamforming: apply_tof() fills
-  /// the processor's cube, the caller beamforms it (possibly stacked with
-  /// other sessions' cubes), and finish() runs envelope/log-compression on
-  /// the externally produced IQ image.
+  // ---- graph-node stepping -------------------------------------------------
+
+  /// Latches `frame`: fetches one cached plan per steering angle and
+  /// acquires per-angle cube slots from the arena (multi-angle only).
+  void prepare(const Frame& frame);
+
+  /// ToF-corrects acquisition `angle` of the prepared frame into its slot
+  /// (or straight into the processor cube for single-angle frames).
+  /// Thread-safe across distinct angles of one prepared frame.
+  void apply_tof_angle(const Frame& frame, std::size_t angle);
+
+  /// Folds the per-angle slots into the processor cube (coherent mean) and
+  /// releases the slots back to the arena. Single-angle: no-op on the
+  /// data. Returns the compounded cube.
+  const us::TofCube& compound();
+
+  /// Runs the beamformer on the compounded cube (stores the IQ image).
+  void beamform();
+
+  /// Envelope/log-compression over the stored IQ image.
+  FrameOutput finish(const Frame& frame);
+
+  // ---- linear/batched stepping ---------------------------------------------
+
+  /// prepare + every apply_tof_angle + compound, inline: fills the
+  /// processor's cube so an external caller can beamform it (possibly
+  /// stacked with other sessions' cubes) and finish() the frame.
   const us::TofCube& apply_tof(const Frame& frame);
+
+  /// finish() on an externally produced IQ image (batched inference).
   FrameOutput finish(const Frame& frame, Tensor iq);
+
+  const us::TofCube& cube() const { return cube_; }
+  /// Angle count latched by the last prepare().
+  std::size_t num_angles() const { return num_angles_; }
+  /// Per-stage times of the frame most recently stepped to finish().
+  const StageTimes& last_times() const { return times_; }
+  graph::BufferArena::Stats arena_stats() const { return arena_.stats(); }
 
   const PipelineConfig& config() const { return config_; }
   const bf::Beamformer& beamformer() const { return *beamformer_; }
@@ -110,12 +172,18 @@ class FrameProcessor {
   std::shared_ptr<const bf::Beamformer> beamformer_;
   PipelineConfig config_;
 
-  // Frame state. The ToF cube and channel workspace — the large buffers —
-  // are reused across frames; the beamformer/postprocess stages still
-  // return fresh image-sized tensors per frame.
+  // Frame state. The ToF cubes, channel workspaces and angle slots — the
+  // large buffers — are reused across frames (slots recycle through the
+  // arena); the beamformer/postprocess stages still return fresh
+  // image-sized tensors per frame.
+  std::size_t num_angles_ = 1;
+  std::vector<std::shared_ptr<const TofPlan>> plans_;
+  std::vector<ChannelWorkspace> workspaces_;
+  std::vector<us::TofCube> slots_;  ///< per-angle cubes (multi-angle only)
+  graph::BufferArena arena_;
+  std::vector<double> angle_tof_s_;
+  StageTimes times_;
   us::TofCube cube_;
-  ChannelWorkspace workspace_;
-  std::shared_ptr<const TofPlan> plan_;
   Tensor iq_, envelope_, db_;
 };
 
@@ -133,16 +201,32 @@ class Pipeline {
 
   /// Runs the source dry, calling `sink` (when set) once per frame on the
   /// driving thread, in frame order. Source exceptions and sink/stage
-  /// exceptions propagate to the caller.
+  /// exceptions propagate to the caller. Output is bit-identical across
+  /// scheduling modes.
   PipelineReport run(const Sink& sink = {});
 
   const PipelineConfig& config() const { return processor_.config(); }
 
+  ~Pipeline();
+
  private:
   void process_frame(Frame& frame, const Sink& sink, PipelineReport& report);
+  void process_frame_graph(Frame& frame, const Sink& sink,
+                           PipelineReport& report);
+  void record_stage_times(PipelineReport& report);
+  void build_graph(std::size_t num_angles);
 
   std::shared_ptr<FrameSource> source_;
   FrameProcessor processor_;
+
+  // Graph-mode state: the per-shape frame graph (rebuilt when the angle
+  // count changes), its executor, and the frame/output slots the node
+  // bodies read and write through.
+  std::unique_ptr<graph::Executor> executor_;
+  std::unique_ptr<graph::FrameGraph> graph_;
+  std::size_t graph_angles_ = 0;
+  const Frame* graph_frame_ = nullptr;
+  std::optional<FrameOutput> graph_out_;
 };
 
 }  // namespace tvbf::rt

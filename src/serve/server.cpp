@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "graph/executor.hpp"
 #include "runtime/plan_cache.hpp"
 
 #if defined(__GLIBC__)
@@ -40,11 +41,25 @@ struct Server::Impl {
   std::condition_variable cv_space;  // producers: queue slot freed
   bool stop = false;
   std::exception_ptr first_error;
-  std::vector<Session*> direct;   // scheduled by the worker threads
-  std::vector<Session*> batched;  // scheduled by the inference thread
+  std::vector<Session*> direct;   // round-robin: worker threads
+  std::vector<Session*> batched;  // round-robin: the inference thread
   std::size_t direct_cursor = 0;
   std::size_t batched_cursor = 0;
   bool serialize_frames = true;  // resolved from config.frame_parallelism
+  bool graph_mode = true;        // resolved from config.scheduling
+
+  // ---- graph scheduling ----------------------------------------------------
+  /// One per distinct BatchedBeamformer shared by batched sessions: the
+  /// cross-session inference gate's parking lot and quorum bookkeeping.
+  struct BatchDomain {
+    const bf::BatchedBeamformer* model = nullptr;
+    std::vector<Session*> parked;  ///< sessions whose gate node is parked
+    std::size_t live = 0;          ///< admitted sessions not yet retired
+  };
+  std::unique_ptr<graph::Executor> executor;
+  std::mutex domain_mu;   // guards domains' parked/live
+  std::mutex batcher_mu;  // InferenceBatcher::dispatch is single-threaded
+  std::vector<BatchDomain> domains;
 
   explicit Impl(ServerConfig cfg)
       : config(cfg), batcher(cfg.max_batch) {}
@@ -62,6 +77,11 @@ struct Server::Impl {
   static bool all_done(const std::vector<Session*>& set) {
     return std::all_of(set.begin(), set.end(),
                        [](const Session* s) { return s->done(); });
+  }
+
+  bool all_sessions_done() const {
+    return std::all_of(sessions.begin(), sessions.end(),
+                       [](const auto& s) { return s->done(); });
   }
 
   // ---- acquisition producers (one thread per session) ---------------------
@@ -89,20 +109,280 @@ struct Server::Impl {
           }
         }
         s.ready.push_back(std::move(frame));
+        if (graph_mode) try_launch_locked(s);
         lock.unlock();
         cv_work.notify_all();
       }
     } catch (...) {
       fail(std::current_exception());
     }
+    const bf::BatchedBeamformer* retire = nullptr;
     {
       const std::lock_guard<std::mutex> lock(mu);
       s.exhausted = true;
+      retire = check_retired_locked(s);
     }
     cv_work.notify_all();
+    if (retire != nullptr) on_retire(retire);
   }
 
-  // ---- direct sessions: round-robin worker threads ------------------------
+  // ==========================================================================
+  // Graph scheduling: per-session stage graphs drained by readiness across
+  // all sessions on one shared executor.
+  // ==========================================================================
+
+  /// Wraps a stage body as a graph node fn: tags this thread's pool work
+  /// with the session id (fair-share admission in latency mode), runs the
+  /// body, untags.
+  static std::function<graph::Status()> tagged(Session& s,
+                                               std::function<void()> fn) {
+    return [&s, fn = std::move(fn)]() {
+      set_job_tag(static_cast<std::uint64_t>(s.id()) + 1);
+      try {
+        fn();
+      } catch (...) {
+        set_job_tag(0);
+        throw;
+      }
+      set_job_tag(0);
+      return graph::Status::kDone;
+    };
+  }
+
+  /// (Re)builds a session's stage graph for `angles` steering angles:
+  /// prepare -> tof[0..angles) -> compound -> (beamform | batch gate) ->
+  /// deliver. Caller holds mu (node bodies only run after launch).
+  void build_graph(Session& s, std::size_t angles) {
+    s.graph.clear();
+    const graph::NodeId prep = s.graph.add(
+        "prepare", {}, tagged(s, [&s] { s.processor().prepare(s.frame); }));
+    std::vector<graph::NodeId> tof_ids;
+    tof_ids.reserve(angles);
+    for (std::size_t i = 0; i < angles; ++i) {
+      tof_ids.push_back(s.graph.add(
+          "tof[" + std::to_string(i) + "]", {prep},
+          tagged(s, [&s, i] { s.processor().apply_tof_angle(s.frame, i); })));
+    }
+    const graph::NodeId comp = s.graph.add(
+        "compound", std::move(tof_ids),
+        tagged(s, [&s] { s.processor().compound(); }));
+    graph::NodeId pre_deliver;
+    if (s.batched() != nullptr) {
+      s.batch_node =
+          s.graph.add("batch", {comp}, [this, &s] { return batch_gate(s); });
+      pre_deliver = s.batch_node;
+    } else {
+      pre_deliver = s.graph.add("beamform", {comp},
+                                tagged(s, [&s] { s.processor().beamform(); }));
+    }
+    s.graph.add("deliver", {pre_deliver}, tagged(s, [&s] {
+                  const rt::FrameOutput out =
+                      s.batched() != nullptr
+                          ? s.processor().finish(s.frame,
+                                                 std::move(s.batched_iq))
+                          : s.processor().finish(s.frame);
+                  Timer t;
+                  if (s.config().sink) s.config().sink(out);
+                  s.sink_s = t.seconds();
+                }));
+  }
+
+  /// Pops the session's next ready frame into the graph and launches it.
+  /// Caller holds mu.
+  void try_launch_locked(Session& s) {
+    if (stop || s.busy || s.ready.empty()) return;
+    s.frame = std::move(s.ready.front());
+    s.ready.pop_front();
+    s.busy = true;
+    cv_space.notify_all();
+    const std::size_t angles = s.frame.num_acquisitions();
+    if (angles != s.graph_angles) {
+      build_graph(s, angles);
+      s.graph_angles = angles;
+    }
+    executor->launch(s.graph, [this, &s](std::exception_ptr error) {
+      on_frame_done(s, error);
+    });
+  }
+
+  /// Marks the session retired exactly once; returns its model when the
+  /// retirement must be reported to the batch domain. Caller holds mu.
+  const bf::BatchedBeamformer* check_retired_locked(Session& s) {
+    if (!graph_mode || s.retired || !s.done()) return nullptr;
+    s.retired = true;
+    return s.batched();
+  }
+
+  /// Completion of one session frame graph: records stage stats, launches
+  /// the session's next ready frame, reports retirement.
+  void on_frame_done(Session& s, std::exception_ptr error) {
+    if (error) fail(error);
+    const bf::BatchedBeamformer* retire = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      s.busy = false;
+      if (!error) {
+        ++s.frames;
+        const auto& t = s.processor().last_times();
+        s.tof_stats.record(t.tof_s);
+        s.compound_stats.record(t.compound_s);
+        s.beamform_stats.record(s.batched() != nullptr ? s.forward_each_s
+                                                       : t.beamform_s);
+        s.post_stats.record(t.post_s);
+        s.sink_stats.record(s.sink_s);
+        try_launch_locked(s);
+      }
+      retire = check_retired_locked(s);
+    }
+    cv_work.notify_all();
+    cv_space.notify_all();
+    if (retire != nullptr) on_retire(retire);
+  }
+
+  BatchDomain& domain_of(const bf::BatchedBeamformer* model) {
+    for (auto& d : domains)
+      if (d.model == model) return d;
+    throw LogicError("no batch domain for model");
+  }
+
+  /// The cross-session inference gate. Parks the session's frame until
+  /// enough sessions sharing the model are parked (quorum = min(max_batch,
+  /// live sessions)); the quorum-completing session fires the stacked
+  /// forward pass inline and resolves the other parked graphs.
+  graph::Status batch_gate(Session& s) {
+    std::unique_lock<std::mutex> lock(domain_mu);
+    BatchDomain& d = domain_of(s.batched());
+    d.parked.push_back(&s);
+    const std::size_t quorum =
+        std::max<std::size_t>(1, std::min(config.max_batch, d.live));
+    if (d.parked.size() < quorum) return graph::Status::kDeferred;
+    std::vector<Session*> group = std::move(d.parked);
+    d.parked.clear();
+    lock.unlock();
+    fire_group(group, &s);
+    return graph::Status::kDone;
+  }
+
+  /// Runs one stacked forward pass over the parked group and resumes every
+  /// member but `self` (null when fired externally: idle flush / retire).
+  /// On dispatch failure every other member's launch is failed; the error
+  /// propagates through `self`'s node (or fail()) so the server stops.
+  void fire_group(const std::vector<Session*>& group, Session* self) {
+    try {
+      std::vector<const us::TofCube*> cubes(group.size());
+      for (std::size_t i = 0; i < group.size(); ++i)
+        cubes[i] = &group[i]->processor().cube();
+      const bf::BatchedBeamformer* model = group.front()->batched();
+      Timer fwd;
+      std::vector<Tensor> iqs;
+      {
+        // One stacked pass for the whole group: revert this worker's
+        // serial marker so the batch forward fans out across the pool,
+        // untagged (it serves every parked session at once).
+        ScopedParallel parallel;
+        const std::uint64_t prev = job_tag();
+        set_job_tag(0);
+        const std::lock_guard<std::mutex> fire_lock(batcher_mu);
+        try {
+          iqs = batcher.dispatch(*model, cubes);
+        } catch (...) {
+          set_job_tag(prev);
+          throw;
+        }
+        set_job_tag(prev);
+      }
+      const double each =
+          fwd.seconds() / static_cast<double>(group.size());
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        group[i]->batched_iq = std::move(iqs[i]);
+        group[i]->forward_each_s = each;
+      }
+      // batched_iq is written above, before resolve: the member's deliver
+      // node only becomes runnable through resolve(), which orders the
+      // read after the write via the executor lock.
+      for (Session* m : group)
+        if (m != self) executor->resolve(m->graph, m->batch_node);
+    } catch (...) {
+      const std::exception_ptr error = std::current_exception();
+      for (Session* m : group)
+        if (m != self) executor->fail(m->graph, error);
+      if (self != nullptr) std::rethrow_exception(error);
+      fail(error);
+    }
+  }
+
+  /// Executor idle hook: with the ready queue drained and no node running,
+  /// fire any parked group (even below quorum) so deferred frames never
+  /// stall the stream. Returns true when it made progress.
+  bool flush_batches() {
+    std::unique_lock<std::mutex> lock(domain_mu);
+    for (auto& d : domains) {
+      if (d.parked.empty()) continue;
+      std::vector<Session*> group = std::move(d.parked);
+      d.parked.clear();
+      lock.unlock();
+      fire_group(group, nullptr);
+      return true;
+    }
+    return false;
+  }
+
+  /// A batched session retired: shrink its domain's quorum and fire the
+  /// parked group if it now meets it (drain on session retire).
+  void on_retire(const bf::BatchedBeamformer* model) {
+    std::unique_lock<std::mutex> lock(domain_mu);
+    BatchDomain& d = domain_of(model);
+    if (d.live > 0) --d.live;
+    const std::size_t quorum =
+        std::max<std::size_t>(1, std::min(config.max_batch, d.live));
+    if (d.parked.empty() || d.parked.size() < quorum) return;
+    std::vector<Session*> group = std::move(d.parked);
+    d.parked.clear();
+    lock.unlock();
+    fire_group(group, nullptr);
+  }
+
+  void run_graph() {
+    for (const auto& s : sessions) {
+      if (s->batched() == nullptr) continue;
+      auto it = std::find_if(domains.begin(), domains.end(), [&](auto& d) {
+        return d.model == s->batched();
+      });
+      if (it == domains.end()) {
+        domains.push_back(BatchDomain{s->batched(), {}, 1});
+      } else {
+        ++it->live;
+      }
+    }
+
+    graph::Executor::Options opts;
+    opts.num_workers = std::max<std::size_t>(
+        1, config.num_workers != 0
+               ? config.num_workers
+               : std::min(sessions.size(), hardware_threads()));
+    opts.serialize_nodes = serialize_frames;
+    if (!domains.empty()) opts.idle_work = [this] { return flush_batches(); };
+    executor = std::make_unique<graph::Executor>(opts);
+
+    std::vector<std::thread> producers;
+    producers.reserve(sessions.size());
+    for (const auto& s : sessions)
+      producers.emplace_back([this, session = s.get()] { produce(*session); });
+
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv_work.wait(lock, [&] { return stop || all_sessions_done(); });
+    }
+    for (auto& t : producers) t.join();
+    // Fails any launch still in flight after an error stop, fires its
+    // completion, and joins the workers. A clean finish reaches here with
+    // the executor idle.
+    executor->stop();
+  }
+
+  // ==========================================================================
+  // Round-robin scheduling (legacy, kept for A/B benchmarking).
+  // ==========================================================================
 
   /// Next direct session with a ready frame, rotating fairly. Caller holds
   /// mu; marks nothing — the caller claims the session.
@@ -162,6 +442,7 @@ struct Server::Impl {
         s->busy = false;
         ++s->frames;
         s->tof_stats.record(times.tof_s);
+        s->compound_stats.record(times.compound_s);
         s->beamform_stats.record(times.beamform_s);
         s->post_stats.record(times.post_s);
         s->sink_stats.record(sink_s);
@@ -169,8 +450,6 @@ struct Server::Impl {
       cv_work.notify_all();
     }
   }
-
-  // ---- batched sessions: one inference thread -----------------------------
 
   void work_inference() {
     while (true) {
@@ -213,15 +492,16 @@ struct Server::Impl {
       }
       cv_space.notify_all();
 
-      std::vector<double> tof_s(group.size()), post_s(group.size()),
-          sink_s(group.size());
+      std::vector<double> tof_s(group.size()), comp_s(group.size()),
+          post_s(group.size()), sink_s(group.size());
       double forward_each_s = 0.0;
       try {
         std::vector<const us::TofCube*> cubes(group.size());
         for (std::size_t i = 0; i < group.size(); ++i) {
-          Timer t;
           cubes[i] = &group[i]->processor().apply_tof(frames[i]);
-          tof_s[i] = t.seconds();
+          const auto& lt = group[i]->processor().last_times();
+          tof_s[i] = lt.tof_s;
+          comp_s[i] = lt.compound_s;
         }
         Timer fwd;
         std::vector<Tensor> iqs = batcher.dispatch(*model, cubes);
@@ -246,6 +526,7 @@ struct Server::Impl {
           s->busy = false;
           ++s->frames;
           s->tof_stats.record(tof_s[i]);
+          s->compound_stats.record(comp_s[i]);
           s->beamform_stats.record(forward_each_s);
           s->post_stats.record(post_s[i]);
           s->sink_stats.record(sink_s[i]);
@@ -253,6 +534,26 @@ struct Server::Impl {
       }
       cv_work.notify_all();
     }
+  }
+
+  void run_round_robin() {
+    std::vector<std::thread> threads;
+    threads.reserve(sessions.size() + 1);
+    for (const auto& s : sessions)
+      threads.emplace_back([this, session = s.get()] { produce(*session); });
+
+    if (!direct.empty()) {
+      const std::size_t workers = std::max<std::size_t>(
+          1, config.num_workers != 0
+                 ? config.num_workers
+                 : std::min(direct.size(), hardware_threads()));
+      for (std::size_t i = 0; i < workers; ++i)
+        threads.emplace_back([this] { work_direct(); });
+    }
+    if (!batched.empty())
+      threads.emplace_back([this] { work_inference(); });
+
+    for (auto& t : threads) t.join();
   }
 };
 
@@ -280,6 +581,7 @@ ServerReport Server::run() {
   TVBF_REQUIRE(!im.started, "Server::run is single-shot");
   TVBF_REQUIRE(!im.sessions.empty(), "server has no sessions");
   im.started = true;
+  im.graph_mode = im.config.scheduling == Scheduling::kGraph;
 
   for (const auto& s : im.sessions)
     (s->batched() != nullptr ? im.batched : im.direct).push_back(s.get());
@@ -292,33 +594,25 @@ ServerReport Server::run() {
       im.serialize_frames = false;
       break;
     case FrameParallelism::kAuto:
-      // Serializing frames only pays when there are enough concurrent
+      // Serializing stages only pays when there are enough concurrent
       // streams to fill the cores; below that it would idle cores and
-      // regress behind a solo Pipeline::run.
-      im.serialize_frames = im.direct.size() >= hardware_threads();
+      // regress behind a solo Pipeline::run. The round-robin scheduler
+      // counts direct sessions only (its batched sessions run on one
+      // dedicated inference thread); the graph scheduler shares its
+      // workers across every session.
+      im.serialize_frames =
+          (im.graph_mode ? im.sessions.size() : im.direct.size()) >=
+          hardware_threads();
       break;
   }
 
   const auto cache_before = rt::PlanCache::instance().stats();
   Timer wall;
 
-  std::vector<std::thread> threads;
-  threads.reserve(im.sessions.size() + 1);
-  for (const auto& s : im.sessions)
-    threads.emplace_back([&im, session = s.get()] { im.produce(*session); });
-
-  if (!im.direct.empty()) {
-    const std::size_t workers = std::max<std::size_t>(
-        1, im.config.num_workers != 0
-               ? im.config.num_workers
-               : std::min(im.direct.size(), hardware_threads()));
-    for (std::size_t i = 0; i < workers; ++i)
-      threads.emplace_back([&im] { im.work_direct(); });
-  }
-  if (!im.batched.empty())
-    threads.emplace_back([&im] { im.work_inference(); });
-
-  for (auto& t : threads) t.join();
+  if (im.graph_mode)
+    im.run_graph();
+  else
+    im.run_round_robin();
 
   const double wall_s = wall.seconds();
   if (im.first_error) std::rethrow_exception(im.first_error);

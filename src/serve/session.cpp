@@ -29,8 +29,8 @@ SessionReport Session::report() const {
   r.beamformer = config_.beamformer->name();
   r.frames = frames;
   r.dropped = dropped;
-  r.stages = {source_stats, tof_stats, beamform_stats, post_stats,
-              sink_stats};
+  r.stages = {source_stats, tof_stats, compound_stats, beamform_stats,
+              post_stats, sink_stats};
   return r;
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/frame_graph.hpp"
 #include "runtime/frame_source.hpp"
 #include "runtime/pipeline.hpp"
 
@@ -47,8 +48,9 @@ struct SessionReport {
   std::string beamformer;  ///< beamformer name
   std::int64_t frames = 0;   ///< frames processed and delivered to the sink
   std::int64_t dropped = 0;  ///< frames dropped by kDropOldest backpressure
-  /// source, tof, beamform, postprocess, sink — in flow order (source runs
-  /// on the producer thread, so stage totals can exceed the server wall).
+  /// source, tof, compound, beamform, postprocess, sink — in flow order
+  /// (source runs on the producer thread, so stage totals can exceed the
+  /// server wall).
   std::vector<rt::StageStats> stages;
 
   const rt::StageStats& stage(const std::string& name) const;
@@ -85,9 +87,20 @@ class Session {
   std::int64_t dropped = 0;
   rt::StageStats source_stats{.name = "source"};
   rt::StageStats tof_stats{.name = "tof"};
+  rt::StageStats compound_stats{.name = "compound"};
   rt::StageStats beamform_stats{.name = "beamform"};
   rt::StageStats post_stats{.name = "postprocess"};
   rt::StageStats sink_stats{.name = "sink"};
+
+  // ---- graph-scheduling scratch (owned by the graph while `busy`) ----
+  rt::Frame frame;          ///< frame currently flowing through the graph
+  graph::FrameGraph graph;  ///< stage graph, rebuilt on angle-count change
+  std::size_t graph_angles = 0;    ///< angle count `graph` was built for
+  graph::NodeId batch_node = 0;    ///< gate node id (batched sessions)
+  Tensor batched_iq;               ///< IQ delivered by a cross-session fire
+  double forward_each_s = 0.0;     ///< per-frame share of the batch forward
+  double sink_s = 0.0;             ///< sink time of the frame in flight
+  bool retired = false;            ///< retirement reported to the domain
 
  private:
   int id_ = -1;
