@@ -15,6 +15,11 @@
 // the two server schedulers on a mixed DAS + Tiny-VBF session load:
 // legacy per-session round-robin vs readiness-scheduled frame graphs
 // (Scheduling::kGraph), asserting both lanes deliver identical frames.
+// Part 5 A/Bs the device backends' batching decisions on the same mixed
+// load: the CPU cost model vs the accelerator cycle model feed the
+// batcher's preferred-batch sizing, so the accel lane should justify
+// deeper quorums while both lanes stay bit-identical (AccelDevice
+// executes on the same CPU kernels; only the estimates differ).
 //
 //   ./bench_serve [--sessions N] [--frames N] [--full]
 //
@@ -29,6 +34,7 @@
 
 #include "beamform/das.hpp"
 #include "common/parallel.hpp"
+#include "device/accel_device.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "models/neural_beamformer.hpp"
@@ -188,10 +194,13 @@ int main(int argc, char** argv) {
   auto vbf = std::make_shared<models::TinyVbfBeamformer>(model);
 
   // Both lanes run on the same inference engine; only the batch cap
-  // differs, so the ratio isolates cross-session stacking itself.
+  // differs, so the ratio isolates cross-session stacking itself. The
+  // cost-aware quorum cap is disabled here for that reason — the device
+  // cost models get their own A/B in part 5.
   auto run_vbf = [&](std::size_t max_batch) {
     serve::ServerConfig scfg;
     scfg.max_batch = max_batch;
+    scfg.cost_aware_batching = false;
     serve::Server vbf_server(scfg);
     for (int s = 0; s < num_sessions; ++s)
       vbf_server.add_session({make_source(), vbf, cfg, {}});
@@ -290,9 +299,66 @@ int main(int argc, char** argv) {
               static_cast<double>(sched_diff),
               sched_diff == 0.0f ? "MATCH" : "MISMATCH");
 
+  // ---- part 5: cpu vs accel cost models driving the batcher ----------------
+  // Same mixed load, two device backends. The accelerator cycle model prices
+  // a 1 ms dispatch per command list, so the batcher should justify a deeper
+  // quorum than under the CPU cost model — while frames stay bit-identical,
+  // because AccelDevice executes through the same CPU kernels and only the
+  // latency estimates differ.
+  auto run_backend = [&](std::shared_ptr<device::Device> dev) {
+    rt::PipelineConfig backend_cfg = cfg;
+    backend_cfg.device = std::move(dev);
+    serve::Server backend_server;
+    std::vector<Tensor> last(static_cast<std::size_t>(num_sessions));
+    for (int s = 0; s < num_sessions; ++s) {
+      const std::shared_ptr<const bf::Beamformer> beamformer =
+          s % 2 == 0 ? std::shared_ptr<const bf::Beamformer>(das)
+                     : std::shared_ptr<const bf::Beamformer>(vbf);
+      Tensor& into = last[static_cast<std::size_t>(s)];
+      backend_server.add_session({make_source(), beamformer, backend_cfg,
+                                  [&into](const rt::FrameOutput& out) {
+                                    into = out.db;
+                                  }});
+    }
+    const serve::ServerReport report = backend_server.run();
+    return std::make_pair(report, std::move(last));
+  };
+  const auto [cpu_report, cpu_frames] = run_backend(nullptr);
+  const auto [accel_report, accel_frames] =
+      run_backend(std::make_shared<device::AccelDevice>());
+  float backend_diff = 0.0f;
+  for (std::size_t s = 0; s < cpu_frames.size(); ++s) {
+    const float d = max_abs_diff(cpu_frames[s], accel_frames[s]);
+    if (d > backend_diff) backend_diff = d;
+  }
+  std::printf("device backends on the mixed load (batching decisions):\n");
+  std::printf("  cpu cost model         preferred batch %lld; %lld batches, "
+              "mean %.1f, max %lld\n",
+              static_cast<long long>(cpu_report.batches.preferred_batch),
+              static_cast<long long>(cpu_report.batches.batches),
+              cpu_report.batches.mean_batch(),
+              static_cast<long long>(cpu_report.batches.max_batch));
+  std::printf("  accel cycle model      preferred batch %lld; %lld batches, "
+              "mean %.1f, max %lld\n",
+              static_cast<long long>(accel_report.batches.preferred_batch),
+              static_cast<long long>(accel_report.batches.batches),
+              accel_report.batches.mean_batch(),
+              static_cast<long long>(accel_report.batches.max_batch));
+  std::printf("  backend max |diff|: %.3g dB -> %s\n\n",
+              static_cast<double>(backend_diff),
+              backend_diff == 0.0f ? "MATCH" : "MISMATCH");
+
   // Gates. The concurrency ratio needs real cores; on single-core hosts the
   // server cannot beat sequential and the gate is informational only.
-  bool ok = match && sched_diff == 0.0f;
+  bool ok = match && sched_diff == 0.0f && backend_diff == 0.0f;
+  if (accel_report.batches.preferred_batch <
+      cpu_report.batches.preferred_batch) {
+    // The dispatch overhead should never make shallower batching look
+    // cheaper; a flip means the cost models disagree with their design.
+    std::printf("WARNING: accel cost model preferred a shallower batch than "
+                "cpu\n");
+    ok = false;
+  }
   if (hardware_threads() >= 4) {
     if (das_ratio < 3.0) {
       std::printf("WARNING: concurrent DAS serving below 3x sequential\n");

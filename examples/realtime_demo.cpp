@@ -4,7 +4,7 @@
 // cysts drifting laterally while the tissue breathes axially.
 //
 //   ./realtime_demo [--frames N] [--angles N] [--out DIR] [--full]
-//                   [--no-overlap] [--serial-sink]
+//                   [--no-overlap] [--serial-sink] [--backend cpu|accel]
 //
 // The per-stage latency report at the end is the runtime's answer to the
 // paper's real-time question: after the first frame builds the ToF plan,
@@ -20,6 +20,7 @@
 #include "beamform/compounding.hpp"
 #include "beamform/das.hpp"
 #include "common/rng.hpp"
+#include "device/accel_device.hpp"
 #include "io/writers.hpp"
 #include "runtime/pipeline.hpp"
 #include "serve/async_sink.hpp"
@@ -30,7 +31,7 @@ namespace {
 void print_usage(const char* argv0) {
   std::printf(
       "usage: %s [--frames N] [--angles N] [--out DIR] [--full]\n"
-      "       [--no-overlap] [--serial-sink] [--help]\n"
+      "       [--no-overlap] [--serial-sink] [--backend cpu|accel] [--help]\n"
       "  --frames N    cine frames to stream (default 24)\n"
       "  --angles N    steered plane waves compounded per frame (default 1;\n"
       "                N > 1 runs CPWC through parallel ToF graph nodes)\n"
@@ -41,6 +42,8 @@ void print_usage(const char* argv0) {
       "  --no-overlap  process frames strictly serially (for latency A/B)\n"
       "  --serial-sink write PGMs inline on the frame clock instead of\n"
       "                through the async writer thread (for latency A/B)\n"
+      "  --backend B   device backend: cpu (reference) or accel (FPGA cycle\n"
+      "                model; identical pixels, modeled latency estimates)\n"
       "  --help        show this message\n",
       argv0);
 }
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
   bool full = false;
   bool overlap = true;
   bool async_sink = true;
+  std::string backend = "cpu";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
       print_usage(argv[0]);
@@ -80,6 +84,13 @@ int main(int argc, char** argv) {
       overlap = false;
     } else if (std::strcmp(argv[i], "--serial-sink") == 0) {
       async_sink = false;
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      backend = argv[++i];
+      if (backend != "cpu" && backend != "accel") {
+        std::fprintf(stderr, "%s: --backend must be 'cpu' or 'accel'\n",
+                     argv[0]);
+        return 1;
+      }
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
       print_usage(argv[0]);
@@ -119,16 +130,18 @@ int main(int argc, char** argv) {
   rt::PipelineConfig cfg;
   cfg.grid = grid;
   cfg.overlap = overlap;
+  if (backend == "accel")
+    cfg.device = std::make_shared<device::AccelDevice>();
   rt::Pipeline pipeline(source, std::make_shared<bf::DasBeamformer>(probe),
                         cfg);
 
   std::printf("streaming %lld cine frames (%lld channels, %lld x %lld "
-              "grid, %lld angle%s/frame)...\n",
+              "grid, %lld angle%s/frame, %s backend)...\n",
               static_cast<long long>(frames),
               static_cast<long long>(probe.num_elements),
               static_cast<long long>(grid.nz),
               static_cast<long long>(grid.nx), static_cast<long long>(angles),
-              angles == 1 ? "" : "s");
+              angles == 1 ? "" : "s", backend.c_str());
   const auto write_frame = [&](std::int64_t index, const Tensor& db) {
     char name[64];
     std::snprintf(name, sizeof(name), "/frame_%03lld.pgm",

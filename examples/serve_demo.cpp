@@ -4,7 +4,7 @@
 // writing its B-mode frames through its own AsyncSink writer thread.
 //
 //   ./serve_demo [--frames N] [--angles N] [--out DIR] [--drop]
-//                [--no-batch]
+//                [--no-batch] [--backend cpu|accel]
 //
 // The report prints one row per session (frames, drops, fps, stage means)
 // plus the batcher and plan-cache counters. The Tiny-VBF model is randomly
@@ -20,6 +20,7 @@
 #include "beamform/compounding.hpp"
 #include "beamform/das.hpp"
 #include "common/rng.hpp"
+#include "device/accel_device.hpp"
 #include "io/writers.hpp"
 #include "models/neural_beamformer.hpp"
 #include "models/tiny_vbf.hpp"
@@ -32,13 +33,16 @@ namespace {
 void print_usage(const char* argv0) {
   std::printf(
       "usage: %s [--frames N] [--angles N] [--out DIR] [--drop]\n"
-      "       [--no-batch] [--help]\n"
+      "       [--no-batch] [--backend cpu|accel] [--help]\n"
       "  --frames N  cine frames per session (default 8)\n"
       "  --angles N  steered plane waves compounded per frame (default 1;\n"
       "              N > 1 adds parallel ToF graph nodes per session)\n"
       "  --out DIR   output directory (default serve_out)\n"
       "  --drop      drop-oldest backpressure instead of blocking\n"
       "  --no-batch  disable cross-session batched inference\n"
+      "  --backend B device backend for every session: cpu (reference) or\n"
+      "              accel (FPGA cycle model; identical pixels, its latency\n"
+      "              estimates drive the batcher's quorum sizing)\n"
       "  --help      show this message\n",
       argv0);
 }
@@ -53,6 +57,7 @@ int main(int argc, char** argv) {
   std::string out_dir = "serve_out";
   bool drop = false;
   bool batch = true;
+  std::string backend = "cpu";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
       print_usage(argv[0]);
@@ -76,6 +81,13 @@ int main(int argc, char** argv) {
       drop = true;
     } else if (std::strcmp(argv[i], "--no-batch") == 0) {
       batch = false;
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      backend = argv[++i];
+      if (backend != "cpu" && backend != "accel") {
+        std::fprintf(stderr, "%s: --backend must be 'cpu' or 'accel'\n",
+                     argv[0]);
+        return 1;
+      }
     } else {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
       print_usage(argv[0]);
@@ -123,6 +135,11 @@ int main(int argc, char** argv) {
 
   rt::PipelineConfig rf_cfg;
   rf_cfg.grid = grid;
+  if (backend == "accel") {
+    // One shared cycle-model device across the sessions (it is stateless
+    // per submission; only its cost model matters to the server).
+    rf_cfg.device = std::make_shared<device::AccelDevice>();
+  }
   rt::PipelineConfig analytic_cfg = rf_cfg;
   analytic_cfg.tof.analytic = true;
 
@@ -163,13 +180,13 @@ int main(int argc, char** argv) {
 
   std::printf("serving %zu sessions x %lld cine frames (%lld channels, "
               "%lld x %lld grid, %lld angle%s/frame, %s backpressure, "
-              "batching %s)...\n",
+              "batching %s, %s backend)...\n",
               streams.size(), static_cast<long long>(frames),
               static_cast<long long>(probe.num_elements),
               static_cast<long long>(grid.nz),
               static_cast<long long>(grid.nx), static_cast<long long>(angles),
               angles == 1 ? "" : "s", drop ? "drop-oldest" : "block",
-              batch ? "on" : "off");
+              batch ? "on" : "off", backend.c_str());
 
   const serve::ServerReport report = server.run();
   for (auto& sink : sinks) sink->close();

@@ -6,9 +6,11 @@
 // in src/metrics, identically for all methods, so comparisons are fair.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "device/command.hpp"
 #include "tensor/tensor.hpp"
 #include "us/tof.hpp"
 
@@ -41,6 +43,18 @@ class BatchedBeamformer : public Beamformer {
   /// lateral extent and channel count; depth extents may differ.
   virtual std::vector<Tensor> beamform_batch(
       const std::vector<const us::TofCube*>& cubes) const = 0;
+
+  /// Encodes an estimate-only command-list probe of one beamform_batch
+  /// pass over `nz_total` stacked depth rows (commands carry null data
+  /// pointers — price them, never submit them). Returns false when the
+  /// method cannot describe its cost structurally; the serving layer then
+  /// falls back to structural (cost-blind) batch sizing.
+  virtual bool encode_cost_probe(device::CommandEncoder& encoder,
+                                 std::int64_t nz_total) const {
+    (void)encoder;
+    (void)nz_total;
+    return false;
+  }
 };
 
 }  // namespace tvbf::bf

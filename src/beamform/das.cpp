@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "common/parallel.hpp"
+#include "device/device.hpp"
 #include "dsp/hilbert.hpp"
 
 namespace tvbf::bf {
@@ -13,6 +13,20 @@ void check_cube(const us::TofCube& cube, const us::Probe& probe) {
   TVBF_REQUIRE(cube.channels() == probe.num_elements,
                "cube channel count does not match the probe");
 }
+
+/// Bound apodization+grid context for DasApplyCmd's weight callback: the
+/// device layer owns the weighted-sum loop, the pixel-geometry weights stay
+/// here in beamform/.
+struct WeightContext {
+  const Apodization& apod;
+  const us::ImagingGrid& grid;
+
+  static void fill(const void* ctx, std::int64_t iz, std::int64_t ix,
+                   std::vector<float>& w) {
+    const auto& self = *static_cast<const WeightContext*>(ctx);
+    self.apod.weights_into(self.grid.x_at(ix), self.grid.z_at(iz), w);
+  }
+};
 }  // namespace
 
 DasBeamformer::DasBeamformer(const us::Probe& probe, ApodizationParams apod)
@@ -26,21 +40,14 @@ Tensor DasBeamformer::beamform_rf(const us::TofCube& cube) const {
                "beamform_rf expects an RF (non-analytic) cube");
   const std::int64_t nz = cube.nz(), nx = cube.nx(), nch = cube.channels();
   const Apodization apod(probe_, apod_params_);
+  const WeightContext ctx{apod, cube.grid};
 
   Tensor sum_re({nz, nx});
-  parallel_for_each(0, static_cast<std::size_t>(nz), [&](std::size_t zi) {
-    const auto iz = static_cast<std::int64_t>(zi);
-    const double z = cube.grid.z_at(iz);
-    std::vector<float> w;
-    for (std::int64_t ix = 0; ix < nx; ++ix) {
-      apod.weights_into(cube.grid.x_at(ix), z, w);
-      const float* re = cube.real.raw() + (iz * nx + ix) * nch;
-      double acc_re = 0.0;
-      for (std::int64_t e = 0; e < nch; ++e)
-        acc_re += static_cast<double>(w[static_cast<std::size_t>(e)]) * re[e];
-      sum_re.raw()[iz * nx + ix] = static_cast<float>(acc_re);
-    }
-  }, /*min_grain=*/4);
+  device::current().submit(
+      device::CommandEncoder()
+          .encode(device::DasApplyCmd{cube.real.raw(), nullptr, sum_re.raw(),
+                                      nz, nx, nch, &ctx, WeightContext::fill})
+          .finish());
   return sum_re;
 }
 
@@ -55,25 +62,14 @@ Tensor DasBeamformer::beamform(const us::TofCube& cube) const {
   // Analytic input sums straight into the interleaved (nz, nx, 2) IQ image.
   const std::int64_t nz = cube.nz(), nx = cube.nx(), nch = cube.channels();
   const Apodization apod(probe_, apod_params_);
+  const WeightContext ctx{apod, cube.grid};
   Tensor iq({nz, nx, 2});
-  parallel_for_each(0, static_cast<std::size_t>(nz), [&](std::size_t zi) {
-    const auto iz = static_cast<std::int64_t>(zi);
-    const double z = cube.grid.z_at(iz);
-    std::vector<float> w;
-    for (std::int64_t ix = 0; ix < nx; ++ix) {
-      apod.weights_into(cube.grid.x_at(ix), z, w);
-      const float* re = cube.real.raw() + (iz * nx + ix) * nch;
-      const float* im = cube.imag.raw() + (iz * nx + ix) * nch;
-      double acc_re = 0.0, acc_im = 0.0;
-      for (std::int64_t e = 0; e < nch; ++e) {
-        const auto we = static_cast<double>(w[static_cast<std::size_t>(e)]);
-        acc_re += we * re[e];
-        acc_im += we * im[e];
-      }
-      iq.raw()[(iz * nx + ix) * 2] = static_cast<float>(acc_re);
-      iq.raw()[(iz * nx + ix) * 2 + 1] = static_cast<float>(acc_im);
-    }
-  }, /*min_grain=*/4);
+  device::current().submit(
+      device::CommandEncoder()
+          .encode(device::DasApplyCmd{cube.real.raw(), cube.imag.raw(),
+                                      iq.raw(), nz, nx, nch, &ctx,
+                                      WeightContext::fill})
+          .finish());
   return iq;
 }
 

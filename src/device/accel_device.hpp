@@ -1,0 +1,48 @@
+// Modeled-accelerator backend.
+//
+// AccelDevice is the cycle model in src/accel/ wearing the Device
+// interface: submit() executes on the CPU reference path (outputs stay
+// bit-identical to CpuDevice — there is no FPGA to run on, see DESIGN.md),
+// while estimate_seconds() prices the list on the 4-PE / 16-MAC array at
+// 100 MHz plus a per-list host->accelerator dispatch overhead (DMA of the
+// operands and one invocation round trip, paid once per submitted list).
+//
+// That dispatch term is what makes batching economics differ between
+// backends: stacking B frames into one list amortizes ~1 ms across B
+// frames on the accelerator, whereas the CPU's per-list cost is ~20 us —
+// so serve::InferenceBatcher derives a much larger preferred batch from
+// AccelDevice estimates than from CpuDevice ones.
+#pragma once
+
+#include "accel/accelerator.hpp"
+#include "device/cpu_device.hpp"
+#include "device/device.hpp"
+
+namespace tvbf::device {
+
+class AccelDevice : public Device {
+ public:
+  /// Modeled host->accelerator round trip per submitted command list
+  /// (operand DMA + invocation + readback posting), amortized across
+  /// everything stacked into the list.
+  static constexpr double kDispatchOverheadSeconds = 1e-3;
+
+  explicit AccelDevice(accel::AccelConfig config = {}) : sim_(config) {}
+
+  std::string name() const override { return "accel"; }
+
+  const accel::AcceleratorSim& simulator() const { return sim_; }
+
+  /// Modeled cycles for one command on the PE array.
+  std::int64_t command_cycles(const Command& cmd) const;
+
+ protected:
+  void execute(const CommandList& list) override;
+  double estimate_list(const CommandList& list) const override;
+
+ private:
+  accel::AcceleratorSim sim_;
+  CpuDevice cpu_;  ///< functional execution (bit-identical reference path)
+};
+
+}  // namespace tvbf::device

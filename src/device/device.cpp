@@ -1,0 +1,81 @@
+#include "device/device.hpp"
+
+#include "device/cpu_device.hpp"
+
+namespace tvbf::device {
+
+namespace {
+thread_local Device* t_current = nullptr;
+}  // namespace
+
+void Device::submit(const CommandList& list) {
+  execute(list);
+  lists_.fetch_add(1, std::memory_order_relaxed);
+  commands_.fetch_add(static_cast<std::int64_t>(list.size()),
+                      std::memory_order_relaxed);
+}
+
+std::int64_t command_macs(const Command& cmd) {
+  struct Macs {
+    std::int64_t operator()(const GemmCmd& c) const { return c.m * c.k * c.n; }
+    std::int64_t operator()(const BatchedGemmCmd& c) const {
+      return c.batch * c.m * c.k * c.n;
+    }
+    std::int64_t operator()(const GemmTnCmd& c) const {
+      return c.m * c.k * c.n;
+    }
+    std::int64_t operator()(const Conv2dForwardCmd& c) const {
+      const auto& s = c.shape;
+      return s.H * s.W * s.kh * s.kw * s.Ci * s.Co;
+    }
+    std::int64_t operator()(const Conv2dBackwardBiasCmd& c) const {
+      const auto& s = c.shape;
+      return s.H * s.W * s.Co;
+    }
+    std::int64_t operator()(const Conv2dBackwardKernelCmd& c) const {
+      const auto& s = c.shape;
+      return s.H * s.W * s.kh * s.kw * s.Ci * s.Co;
+    }
+    std::int64_t operator()(const Conv2dBackwardInputCmd& c) const {
+      const auto& s = c.shape;
+      return s.H * s.W * s.kh * s.kw * s.Ci * s.Co;
+    }
+    std::int64_t operator()(const TofGatherCmd& c) const {
+      // Up to 4 taps (Catmull-Rom) per gathered sample, both planes.
+      const std::int64_t taps = c.interp == dsp::Interp::kCubic ? 4 : 2;
+      const std::int64_t planes = c.lines_im != nullptr ? 2 : 1;
+      return c.nz * c.nx * c.nch * taps * planes;
+    }
+    std::int64_t operator()(const DasApplyCmd& c) const {
+      const std::int64_t planes = c.im != nullptr ? 2 : 1;
+      return c.nz * c.nx * c.nch * planes;
+    }
+  };
+  return std::visit(Macs{}, cmd);
+}
+
+std::int64_t list_macs(const CommandList& list) {
+  std::int64_t total = 0;
+  for (const Command& cmd : list) total += command_macs(cmd);
+  return total;
+}
+
+Device& cpu() {
+  static CpuDevice instance;
+  return instance;
+}
+
+std::shared_ptr<Device> cpu_shared() {
+  // Aliasing a static: the process-wide device outlives every holder.
+  return {std::shared_ptr<Device>{}, &cpu()};
+}
+
+Device& current() { return t_current != nullptr ? *t_current : cpu(); }
+
+ScopedDevice::ScopedDevice(Device& device) : previous_(t_current) {
+  t_current = &device;
+}
+
+ScopedDevice::~ScopedDevice() { t_current = previous_; }
+
+}  // namespace tvbf::device

@@ -4,6 +4,14 @@
 
 namespace tvbf::graph {
 
+namespace {
+
+std::size_t bytes_of(const Tensor& t) {
+  return static_cast<std::size_t>(t.size()) * sizeof(float);
+}
+
+}  // namespace
+
 Tensor BufferArena::acquire(const Shape& shape) {
   {
     std::lock_guard lock(mu_);
@@ -11,6 +19,7 @@ Tensor BufferArena::acquire(const Shape& shape) {
       if (same_shape(it->shape(), shape)) {
         Tensor t = std::move(*it);
         free_.erase(it);
+        free_bytes_ -= bytes_of(t);
         ++reuses_;
         ++outstanding_;
         return t;
@@ -28,7 +37,21 @@ void BufferArena::release(Tensor&& t) {
   if (t.size() == 0) return;
   std::lock_guard lock(mu_);
   if (outstanding_ > 0) --outstanding_;
+  free_bytes_ += bytes_of(t);
   free_.push_back(std::move(t));
+  // Evict least-recently-released first. A buffer larger than the whole
+  // budget flushes the list and is then dropped itself — nothing is pooled
+  // beyond the cap.
+  while (free_bytes_ > budget_bytes_ && !free_.empty()) {
+    free_bytes_ -= bytes_of(free_.front());
+    free_.erase(free_.begin());
+    ++evictions_;
+  }
+}
+
+void BufferArena::set_budget_bytes(std::size_t budget) {
+  std::lock_guard lock(mu_);
+  budget_bytes_ = budget;
 }
 
 BufferArena::Stats BufferArena::stats() const {
@@ -38,12 +61,16 @@ BufferArena::Stats BufferArena::stats() const {
   s.reuses = reuses_;
   s.outstanding = outstanding_;
   s.free_buffers = free_.size();
+  s.free_bytes = free_bytes_;
+  s.evictions = evictions_;
+  s.budget_bytes = budget_bytes_;
   return s;
 }
 
 void BufferArena::clear() {
   std::lock_guard lock(mu_);
   free_.clear();
+  free_bytes_ = 0;
 }
 
 }  // namespace tvbf::graph

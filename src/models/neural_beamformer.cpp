@@ -72,6 +72,45 @@ std::vector<Tensor> TinyVbfBeamformer::beamform_batch(
       });
 }
 
+bool TinyVbfBeamformer::encode_cost_probe(device::CommandEncoder& encoder,
+                                          std::int64_t nz_total) const {
+  encode_tiny_vbf_probe(model_->config(), nz_total, encoder);
+  return true;
+}
+
+void encode_tiny_vbf_probe(const TinyVbfConfig& config, std::int64_t nz_total,
+                           device::CommandEncoder& encoder) {
+  TVBF_REQUIRE(nz_total > 0, "cost probe needs a positive row count");
+  const std::int64_t nz = nz_total;
+  const std::int64_t np = config.num_patches();
+  const std::int64_t d = config.d_model;
+  const std::int64_t dk = d / config.num_heads;
+  const std::int64_t pin = config.patch_size * config.in_channels;
+  // The matmul schedule of one stacked forward pass (mirrors
+  // accel::AcceleratorSim::run_tiny_vbf, which prices the same network):
+  // embed, per block Q/K/V + scores + head outputs + output projection +
+  // the two MLP matmuls, then the two decoder matmuls. Elementwise /
+  // softmax / layer-norm stages are negligible against these and omitted.
+  encoder.batched_gemm(nullptr, nullptr, nullptr, nz, np, pin, d);
+  for (std::int64_t b = 0; b < config.num_blocks; ++b) {
+    for (int proj = 0; proj < 3; ++proj)  // wq, wk, wv
+      encoder.batched_gemm(nullptr, nullptr, nullptr, nz, np, d, d);
+    encoder.batched_gemm(nullptr, nullptr, nullptr, nz * config.num_heads,
+                         np, dk, np, /*transpose_b=*/true);  // scores
+    encoder.batched_gemm(nullptr, nullptr, nullptr, nz * config.num_heads,
+                         np, np, dk);  // attn . V
+    encoder.batched_gemm(nullptr, nullptr, nullptr, nz, np, d, d);  // wo
+    encoder.batched_gemm(nullptr, nullptr, nullptr, nz, np, d,
+                         config.mlp_hidden);  // fc1
+    encoder.batched_gemm(nullptr, nullptr, nullptr, nz, np,
+                         config.mlp_hidden, d);  // fc2
+  }
+  encoder.batched_gemm(nullptr, nullptr, nullptr, nz, np, d,
+                       config.decoder_hidden);  // dec1
+  encoder.batched_gemm(nullptr, nullptr, nullptr, nz, np,
+                       config.decoder_hidden, config.patch_size * 2);  // dec2
+}
+
 TinyCnnBeamformer::TinyCnnBeamformer(std::shared_ptr<const TinyCnn> model)
     : model_(std::move(model)) {
   TVBF_REQUIRE(model_ != nullptr, "TinyCnnBeamformer needs a model");

@@ -28,6 +28,8 @@ class TinyVbfBeamformer : public bf::BatchedBeamformer {
   Tensor beamform(const us::TofCube& cube) const override;
   std::vector<Tensor> beamform_batch(
       const std::vector<const us::TofCube*>& cubes) const override;
+  bool encode_cost_probe(device::CommandEncoder& encoder,
+                         std::int64_t nz_total) const override;
 
  private:
   std::shared_ptr<const TinyVbf> model_;
@@ -81,5 +83,12 @@ std::vector<Tensor> beamform_batch_normalized(
 /// Converts a beamformed RF image (nz, nx) to IQ (nz, nx, 2) via per-column
 /// analytic signal.
 Tensor rf_image_to_iq(const Tensor& rf);
+
+/// Encodes the matmul schedule of one Tiny-VBF forward pass over nz_total
+/// stacked depth rows as an estimate-only cost probe (null data pointers).
+/// Shared by the float and quantized beamformer adapters so both report
+/// the same command structure to the device cost models.
+void encode_tiny_vbf_probe(const TinyVbfConfig& config, std::int64_t nz_total,
+                           device::CommandEncoder& encoder);
 
 }  // namespace tvbf::models

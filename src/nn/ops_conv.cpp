@@ -1,3 +1,4 @@
+#include "device/device.hpp"
 #include "kernels/conv.hpp"
 #include "nn/ops.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -35,8 +36,11 @@ Variable conv2d_same(const Variable& input, const Variable& kernel,
   const std::int64_t H = in.dim(0), W = in.dim(1);
   const std::int64_t Co = k.dim(3);
   Tensor out({H, W, Co});
-  kernels::conv2d_same_forward(in.raw(), k.raw(), out.raw(),
-                               conv_shape(in, k));
+  device::current().submit(
+      device::CommandEncoder()
+          .encode(device::Conv2dForwardCmd{in.raw(), k.raw(), out.raw(),
+                                           conv_shape(in, k)})
+          .finish());
   out = tvbf::add_bias(out, bias.value());
   return Variable::make_op(
       std::move(out), {input, kernel, bias},
@@ -45,15 +49,17 @@ Variable conv2d_same(const Variable& input, const Variable& kernel,
         const Tensor& k = n.parents[1]->value;
         const kernels::Conv2dShape s = conv_shape(in, k);
         const float* dy = n.grad.raw();
+        device::CommandEncoder enc;
         if (n.parents[2]->requires_grad)
-          kernels::conv2d_same_backward_bias(
-              dy, n.parents[2]->ensure_grad().raw(), s);
+          enc.encode(device::Conv2dBackwardBiasCmd{
+              dy, n.parents[2]->ensure_grad().raw(), s});
         if (n.parents[1]->requires_grad)
-          kernels::conv2d_same_backward_kernel(
-              in.raw(), dy, n.parents[1]->ensure_grad().raw(), s);
+          enc.encode(device::Conv2dBackwardKernelCmd{
+              in.raw(), dy, n.parents[1]->ensure_grad().raw(), s});
         if (n.parents[0]->requires_grad)
-          kernels::conv2d_same_backward_input(
-              k.raw(), dy, n.parents[0]->ensure_grad().raw(), s);
+          enc.encode(device::Conv2dBackwardInputCmd{
+              k.raw(), dy, n.parents[0]->ensure_grad().raw(), s});
+        if (!enc.empty()) device::current().submit(enc.finish());
       },
       "conv2d_same");
 }

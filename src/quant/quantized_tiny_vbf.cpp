@@ -218,6 +218,12 @@ std::vector<Tensor> QuantizedVbfBeamformer::beamform_batch(
       });
 }
 
+bool QuantizedVbfBeamformer::encode_cost_probe(
+    device::CommandEncoder& encoder, std::int64_t nz_total) const {
+  models::encode_tiny_vbf_probe(model_->config(), nz_total, encoder);
+  return true;
+}
+
 std::int64_t QuantizedTinyVbf::weight_storage_bits() const {
   const std::int64_t bits_per =
       scheme_.is_float ? 32 : scheme_.weight_bits;

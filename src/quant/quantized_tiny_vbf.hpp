@@ -87,6 +87,10 @@ class QuantizedVbfBeamformer : public bf::BatchedBeamformer {
   Tensor beamform(const us::TofCube& cube) const override;
   std::vector<Tensor> beamform_batch(
       const std::vector<const us::TofCube*>& cubes) const override;
+  /// Same matmul schedule as the float adapter: fake quantization rides
+  /// the same GEMMs, so the cost probe is shared.
+  bool encode_cost_probe(device::CommandEncoder& encoder,
+                         std::int64_t nz_total) const override;
 
  private:
   std::shared_ptr<const QuantizedTinyVbf> model_;

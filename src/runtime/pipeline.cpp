@@ -11,6 +11,7 @@
 #include "beamform/compounding.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "device/device.hpp"
 #include "dsp/hilbert.hpp"
 #include "graph/executor.hpp"
 #include "runtime/plan_cache.hpp"
@@ -38,7 +39,10 @@ const StageStats& PipelineReport::stage(const std::string& name) const {
 
 FrameProcessor::FrameProcessor(std::shared_ptr<const bf::Beamformer> beamformer,
                                PipelineConfig config)
-    : beamformer_(std::move(beamformer)), config_(std::move(config)) {
+    : beamformer_(std::move(beamformer)),
+      config_(std::move(config)),
+      device_(config_.device != nullptr ? config_.device.get()
+                                        : &device::cpu()) {
   TVBF_REQUIRE(beamformer_ != nullptr, "frame processor needs a beamformer");
   config_.grid.validate();
   TVBF_REQUIRE(config_.dynamic_range_db > 0.0,
@@ -75,6 +79,9 @@ void FrameProcessor::prepare(const Frame& frame) {
 
 void FrameProcessor::apply_tof_angle(const Frame& frame, std::size_t angle) {
   TVBF_REQUIRE(angle < num_angles_, "angle index out of range");
+  // The stage may run on any scheduler/executor thread: route its kernels
+  // (the plan's gather command) through this stream's backend.
+  const device::ScopedDevice scope(*device_);
   Timer t;
   us::TofCube& target = num_angles_ > 1 ? slots_[angle] : cube_;
   if (config_.use_plan_cache) {
@@ -107,6 +114,7 @@ const us::TofCube& FrameProcessor::compound() {
 }
 
 void FrameProcessor::beamform() {
+  const device::ScopedDevice scope(*device_);
   Timer t;
   iq_ = beamformer_->beamform(cube_);
   times_.beamform_s = t.seconds();

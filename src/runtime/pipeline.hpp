@@ -21,6 +21,10 @@
 #include "runtime/frame_source.hpp"
 #include "runtime/tof_plan.hpp"
 
+namespace tvbf::device {
+class Device;
+}  // namespace tvbf::device
+
 namespace tvbf::graph {
 class Executor;
 class FrameGraph;
@@ -52,6 +56,13 @@ struct PipelineConfig {
   /// Acquire frame k+1 on a producer thread while frame k is processed.
   bool overlap = true;
   StageScheduling scheduling = StageScheduling::kGraph;
+  /// Backend executing this stream's kernels (ToF gather, beamform, the
+  /// model matmuls): the FrameProcessor installs it as the thread's
+  /// device::ScopedDevice around each compute stage. Null selects the
+  /// process-wide CPU reference device. Every stock backend produces
+  /// bit-identical output; they differ in the cost model the serving
+  /// layer's batcher consults.
+  std::shared_ptr<device::Device> device;
 };
 
 /// Latency accumulator for one pipeline stage.
@@ -167,10 +178,13 @@ class FrameProcessor {
 
   const PipelineConfig& config() const { return config_; }
   const bf::Beamformer& beamformer() const { return *beamformer_; }
+  /// The stream's resolved backend (config().device or the CPU default).
+  device::Device& device() const { return *device_; }
 
  private:
   std::shared_ptr<const bf::Beamformer> beamformer_;
   PipelineConfig config_;
+  device::Device* device_ = nullptr;  ///< resolved once in the constructor
 
   // Frame state. The ToF cubes, channel workspaces and angle slots — the
   // large buffers — are reused across frames (slots recycle through the

@@ -6,6 +6,7 @@
 #include <span>
 
 #include "common/parallel.hpp"
+#include "device/device.hpp"
 #include "dsp/hilbert.hpp"
 
 namespace tvbf::rt {
@@ -14,6 +15,11 @@ namespace {
 
 using detail::kTofLinearBias;
 using detail::kTofOutOfRange;
+
+// The plan tables are consumed by device::TofGatherCmd; the encoding here
+// and the gather in the device backends share one sentinel contract.
+static_assert(kTofOutOfRange == device::TofGatherCmd::kOutOfRange);
+static_assert(kTofLinearBias == device::TofGatherCmd::kLinearBias);
 
 // Encodes the fractional sample position `t` into a plan entry, mirroring
 // the boundary conventions of dsp::interp_linear / dsp::interp_cubic
@@ -43,24 +49,6 @@ void encode_entry(double t, std::int64_t n, dsp::Interp interp,
             ? kTofLinearBias - static_cast<std::int32_t>(base)
             : static_cast<std::int32_t>(base);
   frac = f;
-}
-
-// Gathers one plan entry from a contiguous channel line.
-inline float gather(const float* line, std::int32_t idx, float frac,
-                    dsp::Interp interp) {
-  if (idx == kTofOutOfRange) return 0.0f;
-  if (idx >= 0 && interp == dsp::Interp::kCubic) {
-    const double u = frac;
-    const double p0 = line[idx - 1], p1 = line[idx], p2 = line[idx + 1],
-                 p3 = line[idx + 2];
-    const double a = -0.5 * p0 + 1.5 * p1 - 1.5 * p2 + 0.5 * p3;
-    const double b = p0 - 2.5 * p1 + 2.0 * p2 - 0.5 * p3;
-    const double c = -0.5 * p0 + 0.5 * p2;
-    return static_cast<float>(((a * u + b) * u + c) * u + p1);
-  }
-  const std::int32_t base = idx >= 0 ? idx : kTofLinearBias - idx;
-  const double f = frac;
-  return static_cast<float>((1.0 - f) * line[base] + f * line[base + 1]);
 }
 
 std::size_t hash_combine(std::size_t seed, std::size_t v) {
@@ -213,30 +201,21 @@ void TofPlan::apply(const us::Acquisition& acq, bool analytic,
     out.imag = Tensor();
   }
 
-  const dsp::Interp interp = key_.interp;
-  parallel_for_each(0, static_cast<std::size_t>(grid.nz), [&](std::size_t zi) {
-    const auto iz = static_cast<std::int64_t>(zi);
-    for (std::int64_t ix = 0; ix < grid.nx; ++ix) {
-      const std::size_t row =
-          static_cast<std::size_t>((iz * grid.nx + ix) * n_ch);
-      float* out_re = out.real.raw() + static_cast<std::int64_t>(row);
-      float* out_im =
-          analytic ? out.imag.raw() + static_cast<std::int64_t>(row) : nullptr;
-      for (std::int64_t e = 0; e < n_ch; ++e) {
-        const std::size_t i = row + static_cast<std::size_t>(e);
-        const float* line =
-            ws.re.data() + static_cast<std::size_t>(e) *
-                               static_cast<std::size_t>(n);
-        out_re[e] = gather(line, idx_[i], frac_[i], interp);
-        if (out_im != nullptr) {
-          const float* line_im =
-              ws.im.data() + static_cast<std::size_t>(e) *
-                                 static_cast<std::size_t>(n);
-          out_im[e] = gather(line_im, idx_[i], frac_[i], interp);
-        }
-      }
-    }
-  }, /*min_grain=*/1);
+  device::current().submit(
+      device::CommandEncoder()
+          .encode(device::TofGatherCmd{
+              .idx = idx_.data(),
+              .frac = frac_.data(),
+              .lines_re = ws.re.data(),
+              .lines_im = analytic ? ws.im.data() : nullptr,
+              .out_re = out.real.raw(),
+              .out_im = analytic ? out.imag.raw() : nullptr,
+              .nz = grid.nz,
+              .nx = grid.nx,
+              .nch = n_ch,
+              .nsamples = n,
+              .interp = key_.interp})
+          .finish());
 }
 
 us::TofCube TofPlan::apply(const us::Acquisition& acq, bool analytic) const {

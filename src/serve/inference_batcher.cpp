@@ -1,8 +1,10 @@
 #include "serve/inference_batcher.hpp"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -13,6 +15,12 @@ struct InferenceBatcher::Impl {
   std::size_t max_batch;
   mutable std::mutex mu;
   Stats stats;
+  /// preferred_batch memo: the estimate is pure dimension arithmetic, so
+  /// one (device, model, nz, cap) probe is valid for the server's lifetime.
+  using SizingKey =
+      std::tuple<const device::Device*, const bf::BatchedBeamformer*,
+                 std::int64_t, std::size_t>;
+  mutable std::map<SizingKey, std::size_t> sizing_cache;
 };
 
 InferenceBatcher::InferenceBatcher(std::size_t max_batch)
@@ -48,6 +56,55 @@ std::vector<Tensor> InferenceBatcher::dispatch(
     impl_->stats.forward_s += forward_s;
   }
   return results;
+}
+
+std::size_t InferenceBatcher::preferred_batch(
+    const device::Device& device, const bf::BatchedBeamformer& beamformer,
+    std::int64_t nz_frame, std::size_t cap) const {
+  TVBF_REQUIRE(nz_frame > 0, "preferred_batch needs a positive frame depth");
+  TVBF_REQUIRE(cap >= 1, "preferred_batch cap must be >= 1");
+  const Impl::SizingKey key{&device, &beamformer, nz_frame, cap};
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    const auto it = impl_->sizing_cache.find(key);
+    if (it != impl_->sizing_cache.end()) return it->second;
+  }
+
+  // Estimated seconds for one stacked forward of b frames. The batcher
+  // stacks along the depth axis, so a b-frame batch is one forward of
+  // nz_frame * b rows.
+  const auto estimate = [&](std::size_t b) -> double {
+    device::CommandEncoder enc;
+    if (!beamformer.encode_cost_probe(
+            enc, nz_frame * static_cast<std::int64_t>(b)))
+      return -1.0;
+    return device.estimate_seconds(enc.finish());
+  };
+
+  std::size_t preferred = cap;
+  const double first = estimate(1);
+  if (first < 0.0) {
+    // No cost probe: keep the structural sizing (fill to the cap).
+    preferred = cap;
+  } else {
+    preferred = 1;
+    double per_frame = first;
+    while (preferred < cap) {
+      const std::size_t next = preferred + 1;
+      const double candidate =
+          estimate(next) / static_cast<double>(next);
+      // Stop at the first batch size whose marginal per-frame gain drops
+      // below the threshold: queueing delay then outweighs the win.
+      if (candidate > per_frame * (1.0 - kMarginalGain)) break;
+      preferred = next;
+      per_frame = candidate;
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->sizing_cache.emplace(key, preferred);
+  impl_->stats.preferred_batch = static_cast<std::int64_t>(preferred);
+  return preferred;
 }
 
 InferenceBatcher::Stats InferenceBatcher::stats() const {

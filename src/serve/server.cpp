@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
+#include "device/device.hpp"
 #include "graph/executor.hpp"
 #include "runtime/plan_cache.hpp"
 
@@ -245,16 +246,32 @@ struct Server::Impl {
     throw LogicError("no batch domain for model");
   }
 
+  /// Quorum for one batch domain: the structural ceiling (live sessions,
+  /// configured cap) intersected with the batch size `ref`'s backend cost
+  /// model prefers. On the CPU reference device the per-dispatch overhead
+  /// amortizes quickly, so the gate fires small groups early; under the
+  /// accelerator model's host-DMA overhead the preferred batch is larger
+  /// and the gate holds out for deeper stacks.
+  std::size_t quorum_of(const BatchDomain& d, Session& ref) {
+    const std::size_t structural =
+        std::max<std::size_t>(1, std::min(config.max_batch, d.live));
+    if (!config.cost_aware_batching) return structural;
+    const std::size_t preferred = batcher.preferred_batch(
+        ref.device(), *ref.batched(), ref.processor().config().grid.nz,
+        config.max_batch);
+    return std::max<std::size_t>(1, std::min(structural, preferred));
+  }
+
   /// The cross-session inference gate. Parks the session's frame until
   /// enough sessions sharing the model are parked (quorum = min(max_batch,
-  /// live sessions)); the quorum-completing session fires the stacked
-  /// forward pass inline and resolves the other parked graphs.
+  /// live sessions, cost-preferred batch)); the quorum-completing session
+  /// fires the stacked forward pass inline and resolves the other parked
+  /// graphs.
   graph::Status batch_gate(Session& s) {
     std::unique_lock<std::mutex> lock(domain_mu);
     BatchDomain& d = domain_of(s.batched());
     d.parked.push_back(&s);
-    const std::size_t quorum =
-        std::max<std::size_t>(1, std::min(config.max_batch, d.live));
+    const std::size_t quorum = quorum_of(d, s);
     if (d.parked.size() < quorum) return graph::Status::kDeferred;
     std::vector<Session*> group = std::move(d.parked);
     d.parked.clear();
@@ -280,6 +297,11 @@ struct Server::Impl {
         // serial marker so the batch forward fans out across the pool,
         // untagged (it serves every parked session at once).
         ScopedParallel parallel;
+        // The stacked forward runs on the group's backend (all members of
+        // a domain share the model; the gate groups by model, and stock
+        // backends are bit-identical, so the leader's device is
+        // representative).
+        const device::ScopedDevice scope(group.front()->device());
         const std::uint64_t prev = job_tag();
         set_job_tag(0);
         const std::lock_guard<std::mutex> fire_lock(batcher_mu);
@@ -333,9 +355,9 @@ struct Server::Impl {
     std::unique_lock<std::mutex> lock(domain_mu);
     BatchDomain& d = domain_of(model);
     if (d.live > 0) --d.live;
-    const std::size_t quorum =
-        std::max<std::size_t>(1, std::min(config.max_batch, d.live));
-    if (d.parked.empty() || d.parked.size() < quorum) return;
+    if (d.parked.empty()) return;
+    const std::size_t quorum = quorum_of(d, *d.parked.front());
+    if (d.parked.size() < quorum) return;
     std::vector<Session*> group = std::move(d.parked);
     d.parked.clear();
     lock.unlock();

@@ -76,6 +76,11 @@ struct ServerConfig {
   /// forward pass. Off, those sessions are scheduled like any other.
   bool batch_inference = true;
   std::size_t max_batch = 16;  ///< cap on one cross-session batch
+  /// Cap the batch quorum further by InferenceBatcher::preferred_batch
+  /// (device cost estimates, marginal-gain rule). Off, the quorum is the
+  /// structural min(max_batch, live sessions) — useful for A/B lanes that
+  /// must differ only in max_batch.
+  bool cost_aware_batching = true;
   FrameParallelism frame_parallelism = FrameParallelism::kAuto;
   Scheduling scheduling = Scheduling::kGraph;
 };

@@ -68,6 +68,9 @@ class Session {
   int id() const { return id_; }
   const SessionConfig& config() const { return config_; }
   rt::FrameProcessor& processor() { return processor_; }
+  /// The session's resolved backend (pipeline.device or the CPU default);
+  /// its cost model drives the batch gate's quorum sizing.
+  device::Device& device() const { return processor_.device(); }
 
   /// Non-null when the beamformer is batch-capable and server-side
   /// batching is on: the session's frames then flow through the

@@ -4,8 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "common/parallel.hpp"
-#include "kernels/gemm.hpp"
+#include "device/device.hpp"
 
 namespace tvbf {
 namespace {
@@ -139,7 +138,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                   to_string(b.shape()));
   const std::int64_t n = b.dim(1);
   Tensor c({m, n});
-  kernels::gemm(a.raw(), b.raw(), c.raw(), m, k, n);
+  device::current().submit(
+      device::CommandEncoder().gemm(a.raw(), b.raw(), c.raw(), m, k, n)
+          .finish());
   return c;
 }
 
@@ -157,30 +158,15 @@ Tensor batched_matmul(const Tensor& a, const Tensor& b) {
   TVBF_REQUIRE(bk == k, "batched_matmul inner dims differ: " +
                             to_string(a.shape()) + " x " + to_string(b.shape()));
   Tensor c({B, m, n});
+  device::CommandEncoder enc;
   if (broadcast) {
     // One rhs for every batch: fold the batch into the rows and run a single
     // flat GEMM, so the packed B panels are reused across the whole batch.
-    kernels::gemm(a.raw(), b.raw(), c.raw(), B * m, k, n);
-    return c;
+    enc.gemm(a.raw(), b.raw(), c.raw(), B * m, k, n);
+  } else {
+    enc.batched_gemm(a.raw(), b.raw(), c.raw(), B, m, k, n);
   }
-  // Chunk the flat (batch, row) range, then hand each per-batch span of
-  // consecutive rows to the blocked kernel in one call.
-  parallel_for(
-      0, static_cast<std::size_t>(B * m),
-      [&](std::size_t rb, std::size_t re) {
-        std::size_t r = rb;
-        while (r < re) {
-          const auto batch = static_cast<std::int64_t>(r) / m;
-          const auto row = static_cast<std::int64_t>(r) % m;
-          const auto rows =
-              std::min<std::int64_t>(static_cast<std::int64_t>(re - r), m - row);
-          kernels::gemm_rows(a.raw() + batch * m * k, b.raw() + batch * k * n,
-                             c.raw() + batch * m * n, m, k, n, row,
-                             row + rows);
-          r += static_cast<std::size_t>(rows);
-        }
-      },
-      /*min_grain=*/8);
+  device::current().submit(enc.finish());
   return c;
 }
 
@@ -195,23 +181,11 @@ Tensor batched_matmul_nt(const Tensor& a, const Tensor& b) {
                                   to_string(b.shape()));
   const std::int64_t n = b.dim(1);
   Tensor c({B, m, n});
-  parallel_for(
-      0, static_cast<std::size_t>(B * m),
-      [&](std::size_t rb, std::size_t re) {
-        std::size_t r = rb;
-        while (r < re) {
-          const auto batch = static_cast<std::int64_t>(r) / m;
-          const auto row = static_cast<std::int64_t>(r) % m;
-          const auto rows =
-              std::min<std::int64_t>(static_cast<std::int64_t>(re - r), m - row);
-          kernels::gemm_nt_rows(a.raw() + batch * m * k,
-                                b.raw() + batch * n * k,
-                                c.raw() + batch * m * n, m, k, n, row,
-                                row + rows);
-          r += static_cast<std::size_t>(rows);
-        }
-      },
-      /*min_grain=*/8);
+  device::current().submit(
+      device::CommandEncoder()
+          .batched_gemm(a.raw(), b.raw(), c.raw(), B, m, k, n,
+                        /*transpose_b=*/true)
+          .finish());
   return c;
 }
 

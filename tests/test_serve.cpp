@@ -19,6 +19,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "device/accel_device.hpp"
 #include "models/neural_beamformer.hpp"
 #include "models/tiny_vbf.hpp"
 #include "quant/quantized_tiny_vbf.hpp"
@@ -385,6 +386,46 @@ TEST_F(ServeModelTest, UnbatchedServerMatchesBatchedServer) {
   ASSERT_EQ(batched.size(), unbatched.size());
   for (std::size_t k = 0; k < batched.size(); ++k)
     EXPECT_EQ(max_abs_diff(batched[k], unbatched[k]), 0.0f);
+}
+
+TEST_F(ServeModelTest, AccelBackendPrefersDeeperBatchesWithIdenticalOutput) {
+  // Same sessions on the CPU reference backend and the accelerator cycle
+  // model: pixels must be bit-identical (backends only differ in cost
+  // estimates), while the cost-aware gate must plan a deeper batch under
+  // the accelerator's host-DMA dispatch overhead. Both preferred batches
+  // are pure dimension arithmetic, hence exact values are deterministic
+  // regardless of scheduling noise.
+  constexpr int kSessions = 2;
+  constexpr std::int64_t kFrames = 3;
+  auto run_backend = [&](std::shared_ptr<device::Device> dev,
+                         std::vector<std::vector<Tensor>>& got) {
+    rt::PipelineConfig cfg = pipeline_config();
+    cfg.device = std::move(dev);
+    Server server;
+    got.assign(kSessions, {});
+    for (int s = 0; s < kSessions; ++s)
+      server.add_session(
+          {cine(kFrames, 15e-3 + 2e-3 * s), beamformer_, cfg,
+           capture(got[s])});
+    return server.run();
+  };
+
+  std::vector<std::vector<Tensor>> on_cpu, on_accel;
+  const ServerReport cpu_report = run_backend(nullptr, on_cpu);
+  const ServerReport accel_report =
+      run_backend(std::make_shared<device::AccelDevice>(), on_accel);
+
+  EXPECT_EQ(cpu_report.frames, kSessions * kFrames);
+  EXPECT_EQ(accel_report.frames, kSessions * kFrames);
+  for (int s = 0; s < kSessions; ++s) {
+    ASSERT_EQ(on_accel[s].size(), on_cpu[s].size()) << "session " << s;
+    for (std::size_t k = 0; k < on_cpu[s].size(); ++k)
+      EXPECT_EQ(max_abs_diff(on_accel[s][k], on_cpu[s][k]), 0.0f)
+          << "session " << s << " frame " << k;
+  }
+  EXPECT_GE(cpu_report.batches.preferred_batch, 1);
+  EXPECT_GT(accel_report.batches.preferred_batch,
+            cpu_report.batches.preferred_batch);
 }
 
 TEST_F(ServeModelTest, MixedDasAndBatchedModelSessions) {
