@@ -267,4 +267,33 @@ void print_row(const std::string& name,
   std::printf("\n");
 }
 
+void BenchJson::add(const std::string& part, const std::string& name,
+                    double value, const std::string& unit) {
+  entries_.push_back({part, name, unit, value});
+}
+
+std::string BenchJson::write(const std::string& file) const {
+  io::ensure_directory(kOutDir);
+  const std::string path = std::string(kOutDir) + "/" + file;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("[bench] could not write %s\n", path.c_str());
+    return path;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    std::fprintf(f,
+                 "  {\"part\": \"%s\", \"name\": \"%s\", \"value\": %.9g, "
+                 "\"unit\": \"%s\"}%s\n",
+                 e.part.c_str(), e.name.c_str(), e.value, e.unit.c_str(),
+                 i + 1 < entries_.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("[bench] wrote %s (%zu results)\n", path.c_str(),
+              entries_.size());
+  return path;
+}
+
 }  // namespace tvbf::benchx

@@ -81,4 +81,26 @@ void print_header(const std::string& title);
 void print_row(const std::string& name,
                const std::vector<std::pair<std::string, double>>& cells);
 
+// ---- machine-readable results ----------------------------------------------
+
+/// Collects per-part scalar results and writes them as a JSON array, so
+/// the perf trajectory is tracked across PRs instead of living only in
+/// log text:
+///   [{"part": "...", "name": "...", "value": 1.23, "unit": "fps"}, ...]
+class BenchJson {
+ public:
+  void add(const std::string& part, const std::string& name, double value,
+           const std::string& unit);
+  /// Writes to `<kOutDir>/<file>` (creates the directory); returns the
+  /// full path.
+  std::string write(const std::string& file) const;
+
+ private:
+  struct Entry {
+    std::string part, name, unit;
+    double value;
+  };
+  std::vector<Entry> entries_;
+};
+
 }  // namespace tvbf::benchx

@@ -6,6 +6,8 @@
 // gather). Part 2 runs the full source -> ToF -> DAS -> envelope/log
 // pipeline both ways and prints per-stage latency. Part 3 checks that the
 // streamed B-mode frame is numerically identical to the one-shot path.
+// Results are also written to bench_out/BENCH_pipeline.json so the perf
+// trajectory can be tracked across PRs.
 //
 //   ./bench_pipeline [--quick] [--frames N]
 //
@@ -18,6 +20,7 @@
 #include <string>
 
 #include "beamform/das.hpp"
+#include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "dsp/hilbert.hpp"
@@ -173,6 +176,17 @@ int main(int argc, char** argv) {
   const bool match = db_diff <= 1e-4f;
   std::printf("streamed vs one-shot B-mode: max |diff| %.3g dB -> %s\n",
               static_cast<double>(db_diff), match ? "MATCH" : "MISMATCH");
+
+  benchx::BenchJson json;
+  json.add("tof_stage", "per_frame_ms", per_frame_s * 1e3, "ms");
+  json.add("tof_stage", "cached_plan_ms", cached_s * 1e3, "ms");
+  json.add("tof_stage", "speedup", per_frame_s / cached_s, "x");
+  json.add("pipeline", "baseline_fps", rep_base.fps(), "fps");
+  json.add("pipeline", "streaming_fps", rep_stream.fps(), "fps");
+  json.add("pipeline", "speedup", rep_stream.fps() / rep_base.fps(), "x");
+  json.add("parity", "streamed_vs_oneshot_max_diff",
+           static_cast<double>(db_diff), "dB");
+  json.write("BENCH_pipeline.json");
 
   const bool tof_fast_enough = per_frame_s / cached_s >= 2.0;
   if (!tof_fast_enough)

@@ -20,6 +20,14 @@
 // batcher's preferred-batch sizing, so the accel lane should justify
 // deeper quorums while both lanes stay bit-identical (AccelDevice
 // executes on the same CPU kernels; only the estimates differ).
+// Part 6 measures the telemetry layer itself: the mixed-session load runs
+// with instruments enabled vs disabled (enabled must stay >= 0.97x of
+// disabled on >= 4-core hosts), and the enabled run's registry yields
+// per-session frame-latency quantiles plus the device's measured-vs-
+// estimated latency error per command kind.
+//
+// Every part's scalar results are also written to
+// bench_out/BENCH_serve.json so the perf trajectory is tracked across PRs.
 //
 //   ./bench_serve [--sessions N] [--frames N] [--full]
 //
@@ -33,10 +41,12 @@
 #include <vector>
 
 #include "beamform/das.hpp"
+#include "bench_common.hpp"
 #include "common/parallel.hpp"
 #include "device/accel_device.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "telemetry/telemetry.hpp"
 #include "models/neural_beamformer.hpp"
 #include "models/tiny_vbf.hpp"
 #include "runtime/pipeline.hpp"
@@ -348,9 +358,96 @@ int main(int argc, char** argv) {
               static_cast<double>(backend_diff),
               backend_diff == 0.0f ? "MATCH" : "MISMATCH");
 
+  // ---- part 6: telemetry overhead on the mixed load ------------------------
+  // The same mixed-session load, instruments enabled (the default) vs
+  // disabled (relaxed load + branch per record site). The registry is reset
+  // before the enabled lane so its histograms hold exactly that run.
+  telemetry::Registry::instance().reset();
+  const auto [tel_on_report, tel_on_frames] =
+      run_mixed(serve::Scheduling::kGraph);
+  const telemetry::Snapshot tel_snap =
+      telemetry::Registry::instance().snapshot();
+  telemetry::set_enabled(false);
+  const auto [tel_off_report, tel_off_frames] =
+      run_mixed(serve::Scheduling::kGraph);
+  telemetry::set_enabled(true);
+  float tel_diff = 0.0f;
+  for (std::size_t s = 0; s < tel_on_frames.size(); ++s) {
+    const float d = max_abs_diff(tel_on_frames[s], tel_off_frames[s]);
+    if (d > tel_diff) tel_diff = d;
+  }
+  const double telemetry_ratio =
+      tel_off_report.aggregate_fps() > 0.0
+          ? tel_on_report.aggregate_fps() / tel_off_report.aggregate_fps()
+          : 0.0;
+  std::printf("telemetry overhead on the mixed load (aggregate frames/s):\n");
+  std::printf("  instruments disabled   %8.1f fps  (%.2f s)\n",
+              tel_off_report.aggregate_fps(), tel_off_report.wall_s);
+  std::printf("  instruments enabled    %8.1f fps  (%.2f s)  -> %.3fx\n",
+              tel_on_report.aggregate_fps(), tel_on_report.wall_s,
+              telemetry_ratio);
+  std::printf("  per-session frame latency (dispatch -> delivery, ms):\n");
+  for (int s = 0; s < num_sessions; ++s) {
+    const auto* h = tel_snap.histogram("serve.session." + std::to_string(s) +
+                                       ".frame_s");
+    if (h == nullptr || h->count == 0) continue;
+    std::printf("    session %-2d  p50 %8.3f  p99 %8.3f  (%lld frames)\n", s,
+                h->p50_s * 1e3, h->p99_s * 1e3,
+                static_cast<long long>(h->count));
+  }
+  std::printf("  device submit latency, measured vs cost-model estimate:\n");
+  for (std::size_t k = 0; k < device::kNumCommandKinds; ++k) {
+    const std::string base =
+        std::string("device.submit.") + device::command_kind_name(k);
+    const auto* measured = tel_snap.counter(base + ".measured_ns");
+    const auto* estimated = tel_snap.counter(base + ".estimated_ns");
+    if (measured == nullptr || measured->value <= 0) continue;
+    const double err = static_cast<double>(estimated->value) /
+                           static_cast<double>(measured->value) -
+                       1.0;
+    std::printf("    %-18s measured %8.3f ms  estimated %8.3f ms  "
+                "error %+6.1f%%\n",
+                device::command_kind_name(k),
+                static_cast<double>(measured->value) * 1e-6,
+                static_cast<double>(estimated->value) * 1e-6, err * 100.0);
+  }
+  std::printf("\n");
+
+  // ---- machine-readable results --------------------------------------------
+  benchx::BenchJson json;
+  json.add("das_serving", "sequential_fps", sequential_fps, "fps");
+  json.add("das_serving", "server_fps", das_report.aggregate_fps(), "fps");
+  json.add("das_serving", "speedup", das_ratio, "x");
+  json.add("vbf_batching", "unbatched_fps", unbatched.aggregate_fps(), "fps");
+  json.add("vbf_batching", "batched_fps", batched.aggregate_fps(), "fps");
+  json.add("vbf_batching", "speedup", batch_ratio, "x");
+  json.add("served_vs_solo", "das_max_diff", static_cast<double>(das_diff),
+           "dB");
+  json.add("served_vs_solo", "vbf_max_diff", static_cast<double>(vbf_diff),
+           "dB");
+  json.add("scheduling", "round_robin_fps", rr_report.aggregate_fps(), "fps");
+  json.add("scheduling", "graph_fps", graph_report.aggregate_fps(), "fps");
+  json.add("scheduling", "graph_vs_rr", sched_ratio, "x");
+  json.add("backends", "cpu_preferred_batch",
+           static_cast<double>(cpu_report.batches.preferred_batch), "frames");
+  json.add("backends", "accel_preferred_batch",
+           static_cast<double>(accel_report.batches.preferred_batch),
+           "frames");
+  json.add("telemetry", "enabled_fps", tel_on_report.aggregate_fps(), "fps");
+  json.add("telemetry", "disabled_fps", tel_off_report.aggregate_fps(),
+           "fps");
+  json.add("telemetry", "enabled_over_disabled", telemetry_ratio, "x");
+  if (const auto* h = tel_snap.histogram("serve.frame_s");
+      h != nullptr && h->count > 0) {
+    json.add("telemetry", "frame_latency_p50", h->p50_s * 1e3, "ms");
+    json.add("telemetry", "frame_latency_p99", h->p99_s * 1e3, "ms");
+  }
+  json.write("BENCH_serve.json");
+
   // Gates. The concurrency ratio needs real cores; on single-core hosts the
   // server cannot beat sequential and the gate is informational only.
-  bool ok = match && sched_diff == 0.0f && backend_diff == 0.0f;
+  bool ok = match && sched_diff == 0.0f && backend_diff == 0.0f &&
+            tel_diff == 0.0f;
   if (accel_report.batches.preferred_batch <
       cpu_report.batches.preferred_batch) {
     // The dispatch overhead should never make shallower batching look
@@ -380,6 +477,18 @@ int main(int argc, char** argv) {
     // load; a big regression means the executor is starving sessions.
     std::printf("WARNING: graph scheduling well below round-robin\n");
     ok = false;
+  }
+  if (hardware_threads() >= 4) {
+    if (telemetry_ratio < 0.97) {
+      // The instruments must be cheap enough to stay on in production.
+      std::printf("WARNING: telemetry overhead ratio %.3f below 0.97x\n",
+                  telemetry_ratio);
+      ok = false;
+    }
+  } else {
+    std::printf("note: %zu pool thread(s) — telemetry overhead gate "
+                "informational (ratio %.3f; needs >= 4 cores)\n",
+                hardware_threads(), telemetry_ratio);
   }
   return ok ? 0 : 1;
 }

@@ -5,12 +5,15 @@
 //
 //   ./realtime_demo [--frames N] [--angles N] [--out DIR] [--full]
 //                   [--no-overlap] [--serial-sink] [--backend cpu|accel]
+//                   [--metrics]
 //
 // The per-stage latency report at the end is the runtime's answer to the
 // paper's real-time question: after the first frame builds the ToF plan,
 // every later frame pays only sampling + beamforming. PGMs go through a
 // serve::AsyncSink writer thread by default, so the sink stage only pays
 // the frame copy; --serial-sink restores inline writing for the A/B.
+// --metrics prints the process telemetry table at exit and writes
+// telemetry.json plus a Chrome trace.json into the output directory.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +27,8 @@
 #include "io/writers.hpp"
 #include "runtime/pipeline.hpp"
 #include "serve/async_sink.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "us/phantom.hpp"
 
 namespace {
@@ -31,7 +36,8 @@ namespace {
 void print_usage(const char* argv0) {
   std::printf(
       "usage: %s [--frames N] [--angles N] [--out DIR] [--full]\n"
-      "       [--no-overlap] [--serial-sink] [--backend cpu|accel] [--help]\n"
+      "       [--no-overlap] [--serial-sink] [--backend cpu|accel]\n"
+      "       [--metrics] [--help]\n"
       "  --frames N    cine frames to stream (default 24)\n"
       "  --angles N    steered plane waves compounded per frame (default 1;\n"
       "                N > 1 runs CPWC through parallel ToF graph nodes)\n"
@@ -44,6 +50,9 @@ void print_usage(const char* argv0) {
       "                through the async writer thread (for latency A/B)\n"
       "  --backend B   device backend: cpu (reference) or accel (FPGA cycle\n"
       "                model; identical pixels, modeled latency estimates)\n"
+      "  --metrics     print the telemetry table at exit and write\n"
+      "                telemetry.json + Chrome trace.json into the output\n"
+      "                directory\n"
       "  --help        show this message\n",
       argv0);
 }
@@ -58,6 +67,7 @@ int main(int argc, char** argv) {
   bool full = false;
   bool overlap = true;
   bool async_sink = true;
+  bool metrics = false;
   std::string backend = "cpu";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
@@ -84,6 +94,8 @@ int main(int argc, char** argv) {
       overlap = false;
     } else if (std::strcmp(argv[i], "--serial-sink") == 0) {
       async_sink = false;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
     } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       backend = argv[++i];
       if (backend != "cpu" && backend != "accel") {
@@ -149,6 +161,12 @@ int main(int argc, char** argv) {
     io::write_pgm_db(out_dir + name, db, 60.0);
   };
 
+  if (metrics) {
+    // Scope the capture to the streaming run: fresh instruments, armed
+    // trace.
+    telemetry::Registry::instance().reset();
+    telemetry::trace_start();
+  }
   rt::PipelineReport report;
   serve::AsyncSink::Stats sink_stats;
   if (async_sink) {
@@ -163,6 +181,7 @@ int main(int argc, char** argv) {
     report = pipeline.run(
         [&](const rt::FrameOutput& out) { write_frame(out.index, out.db); });
   }
+  if (metrics) telemetry::trace_stop();
 
   std::printf("\n%lld frames in %.2f s -> %.1f frames/s (%s, %s sink)\n",
               static_cast<long long>(report.frames), report.wall_s,
@@ -187,5 +206,17 @@ int main(int argc, char** argv) {
   }
   std::printf("\nwrote %s/frame_000.pgm ... frame_%03lld.pgm\n",
               out_dir.c_str(), static_cast<long long>(report.frames - 1));
+
+  if (metrics) {
+    const telemetry::Snapshot snap = telemetry::Registry::instance().snapshot();
+    std::printf("\n%s", telemetry::render_table(snap).c_str());
+    io::write_text(out_dir + "/telemetry.json", telemetry::to_json(snap));
+    io::write_text(out_dir + "/trace.json", telemetry::trace_export_json());
+    std::printf("wrote %s/telemetry.json and %s/trace.json",
+                out_dir.c_str(), out_dir.c_str());
+    if (const std::int64_t lost = telemetry::trace_dropped(); lost > 0)
+      std::printf(" (%lld spans dropped)", static_cast<long long>(lost));
+    std::printf("\n");
+  }
   return 0;
 }

@@ -4,12 +4,14 @@
 // writing its B-mode frames through its own AsyncSink writer thread.
 //
 //   ./serve_demo [--frames N] [--angles N] [--out DIR] [--drop]
-//                [--no-batch] [--backend cpu|accel]
+//                [--no-batch] [--backend cpu|accel] [--metrics]
 //
 // The report prints one row per session (frames, drops, fps, stage means)
-// plus the batcher and plan-cache counters. The Tiny-VBF model is randomly
-// initialized — this demo exercises the serving machinery, not image
-// quality (train_beamformer covers training).
+// plus the batcher and plan-cache counters. --metrics additionally prints
+// the process telemetry table at exit and writes telemetry.json plus a
+// Chrome trace.json (load at chrome://tracing) into the output directory.
+// The Tiny-VBF model is randomly initialized — this demo exercises the
+// serving machinery, not image quality (train_beamformer covers training).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +28,8 @@
 #include "models/tiny_vbf.hpp"
 #include "serve/async_sink.hpp"
 #include "serve/server.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "us/phantom.hpp"
 
 namespace {
@@ -43,6 +47,8 @@ void print_usage(const char* argv0) {
       "  --backend B device backend for every session: cpu (reference) or\n"
       "              accel (FPGA cycle model; identical pixels, its latency\n"
       "              estimates drive the batcher's quorum sizing)\n"
+      "  --metrics   print the telemetry table at exit and write\n"
+      "              telemetry.json + Chrome trace.json into the output dir\n"
       "  --help      show this message\n",
       argv0);
 }
@@ -57,6 +63,7 @@ int main(int argc, char** argv) {
   std::string out_dir = "serve_out";
   bool drop = false;
   bool batch = true;
+  bool metrics = false;
   std::string backend = "cpu";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
@@ -81,6 +88,8 @@ int main(int argc, char** argv) {
       drop = true;
     } else if (std::strcmp(argv[i], "--no-batch") == 0) {
       batch = false;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
     } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       backend = argv[++i];
       if (backend != "cpu" && backend != "accel") {
@@ -188,8 +197,14 @@ int main(int argc, char** argv) {
               angles == 1 ? "" : "s", drop ? "drop-oldest" : "block",
               batch ? "on" : "off", backend.c_str());
 
+  if (metrics) {
+    // Scope the capture to the serve run: fresh instruments, armed trace.
+    telemetry::Registry::instance().reset();
+    telemetry::trace_start();
+  }
   const serve::ServerReport report = server.run();
   for (auto& sink : sinks) sink->close();
+  if (metrics) telemetry::trace_stop();
 
   std::printf("\n%lld frames in %.2f s -> %.1f frames/s aggregate "
               "(%lld dropped)\n",
@@ -216,5 +231,17 @@ int main(int argc, char** argv) {
   }
   std::printf("\nwrote %s/<session>/frame_000.pgm ... frame_%03lld.pgm\n",
               out_dir.c_str(), static_cast<long long>(frames - 1));
+
+  if (metrics) {
+    const telemetry::Snapshot snap = telemetry::Registry::instance().snapshot();
+    std::printf("\n%s", telemetry::render_table(snap).c_str());
+    io::write_text(out_dir + "/telemetry.json", telemetry::to_json(snap));
+    io::write_text(out_dir + "/trace.json", telemetry::trace_export_json());
+    std::printf("wrote %s/telemetry.json and %s/trace.json",
+                out_dir.c_str(), out_dir.c_str());
+    if (const std::int64_t lost = telemetry::trace_dropped(); lost > 0)
+      std::printf(" (%lld spans dropped)", static_cast<long long>(lost));
+    std::printf("\n");
+  }
   return 0;
 }

@@ -1,15 +1,71 @@
 #include "device/device.hpp"
 
+#include <chrono>
+#include <cmath>
+#include <string>
+
 #include "device/cpu_device.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace tvbf::device {
 
 namespace {
 thread_local Device* t_current = nullptr;
+
+// Per-kind submit instruments, resolved once. Measured and estimated
+// nanoseconds accumulate side by side so a snapshot yields the
+// measured-vs-model error per command kind (the calibration signal for
+// the cycle-model work).
+struct SubmitInstruments {
+  telemetry::LatencyHistogram* latency[kNumCommandKinds];
+  telemetry::Counter* measured_ns[kNumCommandKinds];
+  telemetry::Counter* estimated_ns[kNumCommandKinds];
+
+  SubmitInstruments() {
+    auto& reg = telemetry::Registry::instance();
+    for (std::size_t i = 0; i < kNumCommandKinds; ++i) {
+      const std::string base =
+          std::string("device.submit.") + command_kind_name(i);
+      latency[i] = &reg.histogram(base + "_s");
+      measured_ns[i] = &reg.counter(base + ".measured_ns");
+      estimated_ns[i] = &reg.counter(base + ".estimated_ns");
+    }
+  }
+};
+
+SubmitInstruments& submit_instruments() {
+  static SubmitInstruments instruments;
+  return instruments;
+}
 }  // namespace
 
+const char* command_kind_name(std::size_t kind) {
+  // Order mirrors the Command variant (command.hpp).
+  static constexpr const char* kNames[kNumCommandKinds] = {
+      "gemm",        "batched_gemm",     "gemm_tn",
+      "conv2d_fwd",  "conv2d_bwd_bias",  "conv2d_bwd_kernel",
+      "conv2d_bwd_input", "tof_gather",  "das_apply"};
+  return kind < kNumCommandKinds ? kNames[kind] : "unknown";
+}
+
 void Device::submit(const CommandList& list) {
-  execute(list);
+  if (telemetry::enabled() && !list.empty()) {
+    SubmitInstruments& si = submit_instruments();
+    const std::size_t kind = list.front().index();
+    const double estimated_s = estimate_seconds(list);
+    const auto t0 = std::chrono::steady_clock::now();
+    execute(list);
+    const double measured_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    si.latency[kind]->record(measured_s);
+    si.measured_ns[kind]->add(
+        static_cast<std::int64_t>(std::llround(measured_s * 1e9)));
+    si.estimated_ns[kind]->add(
+        static_cast<std::int64_t>(std::llround(estimated_s * 1e9)));
+  } else {
+    execute(list);
+  }
   lists_.fetch_add(1, std::memory_order_relaxed);
   commands_.fetch_add(static_cast<std::int64_t>(list.size()),
                       std::memory_order_relaxed);

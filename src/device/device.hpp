@@ -70,6 +70,14 @@ class Device {
 std::int64_t command_macs(const Command& cmd);
 std::int64_t list_macs(const CommandList& list);
 
+/// Number of Command alternatives (the variant size). Telemetry attributes
+/// each submit() to the kind of the list's first command.
+inline constexpr std::size_t kNumCommandKinds = std::variant_size_v<Command>;
+
+/// Short stable name for a Command alternative, by variant index (e.g.
+/// "gemm", "tof_gather"); "unknown" past the end.
+const char* command_kind_name(std::size_t kind);
+
 /// The process-wide reference CpuDevice every thread falls back to.
 Device& cpu();
 

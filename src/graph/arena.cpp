@@ -2,12 +2,30 @@
 
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
+
 namespace tvbf::graph {
 
 namespace {
 
 std::size_t bytes_of(const Tensor& t) {
   return static_cast<std::size_t>(t.size()) * sizeof(float);
+}
+
+// Process-wide mirrors of the per-arena Stats, aggregated across every
+// BufferArena instance (each session's graph scratch has its own arena).
+struct ArenaInstruments {
+  telemetry::Counter& reuses =
+      telemetry::Registry::instance().counter("arena.reuses");
+  telemetry::Counter& allocations =
+      telemetry::Registry::instance().counter("arena.allocations");
+  telemetry::Counter& evictions =
+      telemetry::Registry::instance().counter("arena.evictions");
+};
+
+ArenaInstruments& arena_instruments() {
+  static ArenaInstruments instruments;
+  return instruments;
 }
 
 }  // namespace
@@ -22,11 +40,13 @@ Tensor BufferArena::acquire(const Shape& shape) {
         free_bytes_ -= bytes_of(t);
         ++reuses_;
         ++outstanding_;
+        arena_instruments().reuses.add();
         return t;
       }
     }
     ++allocations_;
     ++outstanding_;
+    arena_instruments().allocations.add();
   }
   // Allocate outside the lock; zero-init cost is paid only on first use of
   // a shape (steady-state acquires hit the free list above).
@@ -46,6 +66,7 @@ void BufferArena::release(Tensor&& t) {
     free_bytes_ -= bytes_of(free_.front());
     free_.erase(free_.begin());
     ++evictions_;
+    arena_instruments().evictions.add();
   }
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace tvbf::graph {
 
@@ -76,6 +77,7 @@ struct Executor::Impl {
       }
       auto [run, id] = queue.front();
       queue.pop_front();
+      t_queue_depth.sub();
       if (run->failed) {
         maybe_finish(lock, run);
         continue;
@@ -85,7 +87,10 @@ struct Executor::Impl {
       lock.unlock();
       Status status = Status::kDone;
       std::exception_ptr error;
+      t_nodes.add();
       try {
+        telemetry::ScopedSpan span(&t_node_s,
+                                   run->g->nodes_[id].name.c_str());
         status = run->g->nodes_[id].fn();
       } catch (...) {
         error = std::current_exception();
@@ -111,7 +116,10 @@ struct Executor::Impl {
   /// Caller holds mu.
   void complete_locked(const RunPtr& run, NodeId id) {
     for (const NodeId succ : run->g->nodes_[id].successors) {
-      if (--run->pending[succ] == 0) queue.push_back({run, succ});
+      if (--run->pending[succ] == 0) {
+        queue.push_back({run, succ});
+        t_queue_depth.add();
+      }
     }
     --run->remaining;
     if (!run->g->nodes_[id].successors.empty()) cv.notify_all();
@@ -141,6 +149,15 @@ struct Executor::Impl {
   std::size_t running_total = 0;
   bool idle_in_progress = false;
   bool stopped = false;
+
+  // Instruments resolved once at construction; the registry keeps the
+  // references valid for the process lifetime.
+  telemetry::Counter& t_nodes =
+      telemetry::Registry::instance().counter("graph.nodes_executed");
+  telemetry::Gauge& t_queue_depth =
+      telemetry::Registry::instance().gauge("graph.ready_queue");
+  telemetry::LatencyHistogram& t_node_s =
+      telemetry::Registry::instance().histogram("graph.node_s");
 };
 
 Executor::Executor(const Options& options)
@@ -163,7 +180,10 @@ void Executor::launch(const FrameGraph& g, Completion done) {
     impl_->active.emplace(&g, run);
     for (NodeId id = 0; id < g.size(); ++id) {
       run->pending[id] = g.dependencies(id).size();
-      if (run->pending[id] == 0) impl_->queue.push_back({run, id});
+      if (run->pending[id] == 0) {
+        impl_->queue.push_back({run, id});
+        impl_->t_queue_depth.add();
+      }
     }
   }
   impl_->cv.notify_all();
@@ -215,6 +235,8 @@ void Executor::stop() {
           orphans.push_back(run);
         }
       }
+      impl_->t_queue_depth.sub(
+          static_cast<std::int64_t>(impl_->queue.size()));
       impl_->queue.clear();
       lock.unlock();
       impl_->cv.notify_all();

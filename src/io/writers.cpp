@@ -57,6 +57,13 @@ void write_csv(const std::string& path,
   TVBF_REQUIRE(static_cast<bool>(os), "write to '" + path + "' failed");
 }
 
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  TVBF_REQUIRE(os.is_open(), "cannot open '" + path + "' for writing");
+  os.write(text.data(), static_cast<std::streamsize>(text.size()));
+  TVBF_REQUIRE(static_cast<bool>(os), "write to '" + path + "' failed");
+}
+
 void ensure_directory(const std::string& path) {
   std::error_code ec;
   std::filesystem::create_directories(path, ec);

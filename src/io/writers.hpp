@@ -19,6 +19,9 @@ void write_csv(const std::string& path,
                const std::vector<std::string>& column_names,
                const std::vector<std::vector<double>>& columns);
 
+/// Writes a string verbatim (telemetry/trace JSON exports).
+void write_text(const std::string& path, const std::string& text);
+
 /// Creates a directory (and parents); no-op if it exists.
 void ensure_directory(const std::string& path);
 

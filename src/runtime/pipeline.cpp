@@ -15,6 +15,7 @@
 #include "dsp/hilbert.hpp"
 #include "graph/executor.hpp"
 #include "runtime/plan_cache.hpp"
+#include "telemetry/telemetry.hpp"
 #include "us/tof.hpp"
 
 namespace tvbf::rt {
@@ -22,6 +23,30 @@ namespace tvbf::rt {
 namespace {
 // Stage indices into PipelineReport::stages.
 enum Stage : std::size_t { kSource, kTof, kCompound, kBeamform, kPost, kSink };
+
+// Process-wide stage histograms, shared by every FrameProcessor (solo
+// pipelines and server sessions alike). These subsume the min/mean/max of
+// StageStats with full latency distributions; the per-report StageStats
+// remain the exact per-run figures.
+struct StageInstruments {
+  telemetry::LatencyHistogram& source =
+      telemetry::Registry::instance().histogram("pipeline.source_s");
+  telemetry::LatencyHistogram& tof =
+      telemetry::Registry::instance().histogram("pipeline.tof_s");
+  telemetry::LatencyHistogram& compound =
+      telemetry::Registry::instance().histogram("pipeline.compound_s");
+  telemetry::LatencyHistogram& beamform =
+      telemetry::Registry::instance().histogram("pipeline.beamform_s");
+  telemetry::LatencyHistogram& post =
+      telemetry::Registry::instance().histogram("pipeline.post_s");
+  telemetry::LatencyHistogram& sink =
+      telemetry::Registry::instance().histogram("pipeline.sink_s");
+};
+
+StageInstruments& stage_instruments() {
+  static StageInstruments instruments;
+  return instruments;
+}
 }  // namespace
 
 void StageStats::record(double seconds) {
@@ -125,6 +150,15 @@ FrameOutput FrameProcessor::finish(const Frame& frame) {
   envelope_ = dsp::envelope_iq(iq_);
   db_ = dsp::log_compress(envelope_, config_.dynamic_range_db);
   times_.post_s = t.seconds();
+  // The frame's stage set is complete here, in every scheduling mode.
+  // Zero durations are stages this frame did not run locally (batched
+  // sessions beamform in the cross-session stacked pass) — recording them
+  // would pollute the distributions.
+  StageInstruments& si = stage_instruments();
+  if (times_.tof_s > 0.0) si.tof.record(times_.tof_s);
+  if (times_.compound_s > 0.0) si.compound.record(times_.compound_s);
+  if (times_.beamform_s > 0.0) si.beamform.record(times_.beamform_s);
+  if (times_.post_s > 0.0) si.post.record(times_.post_s);
   return FrameOutput{frame.index, frame.time_s, iq_, envelope_, db_};
 }
 
@@ -173,7 +207,9 @@ void Pipeline::process_frame(Frame& frame, const Sink& sink,
 
   Timer t;
   if (sink) sink(out);
-  report.stages[kSink].record(t.seconds());
+  const double sink_s = t.seconds();
+  report.stages[kSink].record(sink_s);
+  if (sink_s > 0.0) stage_instruments().sink.record(sink_s);
   ++report.frames;
 }
 
@@ -235,7 +271,9 @@ void Pipeline::process_frame_graph(Frame& frame, const Sink& sink,
   record_stage_times(report);
   Timer t;
   if (sink) sink(*graph_out_);
-  report.stages[kSink].record(t.seconds());
+  const double sink_s = t.seconds();
+  report.stages[kSink].record(sink_s);
+  if (sink_s > 0.0) stage_instruments().sink.record(sink_s);
   ++report.frames;
 }
 
@@ -275,7 +313,9 @@ PipelineReport Pipeline::run(const Sink& sink) {
       Timer t;
       const bool have = source_->next(frame);
       if (!have) break;
-      report.stages[kSource].record(t.seconds());
+      const double source_s = t.seconds();
+      report.stages[kSource].record(source_s);
+      if (source_s > 0.0) stage_instruments().source.record(source_s);
       step(frame);
     }
   } else {
@@ -300,7 +340,9 @@ PipelineReport Pipeline::run(const Sink& sink) {
           Timer t;
           const bool have = source_->next(frame);
           if (!have) break;
-          source_stats.record(t.seconds());
+          const double source_s = t.seconds();
+          source_stats.record(source_s);
+          if (source_s > 0.0) stage_instruments().source.record(source_s);
           std::unique_lock<std::mutex> lock(mu);
           cv_space.wait(lock,
                         [&] { return queue.size() < kQueueDepth || stop; });

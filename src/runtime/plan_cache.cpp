@@ -7,10 +7,32 @@
 #include <unordered_map>
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
+
 namespace tvbf::rt {
 
 namespace {
 constexpr std::size_t kDefaultCapacityBytes = 768ull << 20;
+
+// Process-wide mirrors of the cache's own Stats: the telemetry registry is
+// how a running Server (or its sampler thread) watches these without a
+// PlanCache handle. Monotonic — unlike Impl's fields, clear() never zeroes
+// them.
+struct CacheInstruments {
+  telemetry::Counter& hits =
+      telemetry::Registry::instance().counter("plan_cache.hits");
+  telemetry::Counter& misses =
+      telemetry::Registry::instance().counter("plan_cache.misses");
+  telemetry::Counter& evictions =
+      telemetry::Registry::instance().counter("plan_cache.evictions");
+  telemetry::Counter& duplicate_builds =
+      telemetry::Registry::instance().counter("plan_cache.duplicate_builds");
+};
+
+CacheInstruments& cache_instruments() {
+  static CacheInstruments instruments;
+  return instruments;
+}
 
 struct KeyHasher {
   std::size_t operator()(const TofPlanKey& k) const { return hash_key(k); }
@@ -50,6 +72,7 @@ struct PlanCache::Impl {
       map.erase(victim.first);
       lru.pop_back();
       ++evictions;
+      cache_instruments().evictions.add();
     }
   }
 };
@@ -85,13 +108,16 @@ std::shared_ptr<const TofPlan> PlanCache::get(const us::Probe& probe,
     const std::lock_guard<std::mutex> lock(impl_->mu);
     if (const auto it = impl_->map.find(key); it != impl_->map.end()) {
       ++impl_->hits;
+      cache_instruments().hits.add();
       impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
       return it->second->second;
     }
     ++impl_->misses;
+    cache_instruments().misses.add();
     if (const auto it = impl_->building.find(key);
         it != impl_->building.end()) {
       ++impl_->duplicate_builds;  // coalesced onto the in-flight build
+      cache_instruments().duplicate_builds.add();
       flight = it->second;
     } else {
       // The latch is constructed before it enters the map: if either

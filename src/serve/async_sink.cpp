@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace tvbf::serve {
 
@@ -39,6 +40,9 @@ struct AsyncSink::Impl {
       cv_space.notify_all();
       Timer t;
       try {
+        static telemetry::LatencyHistogram& write_hist =
+            telemetry::Registry::instance().histogram("sink.write_s");
+        telemetry::ScopedSpan span(&write_hist, "sink.write");
         write(frame);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(mu);

@@ -8,8 +8,29 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace tvbf::serve {
+
+namespace {
+// Batcher occupancy: dispatched frames over batch slots tells how full the
+// stacked forwards run; the forward histogram is the per-dispatch latency.
+struct BatcherInstruments {
+  telemetry::Counter& batches =
+      telemetry::Registry::instance().counter("batcher.batches");
+  telemetry::Counter& frames =
+      telemetry::Registry::instance().counter("batcher.frames");
+  telemetry::Counter& slots =
+      telemetry::Registry::instance().counter("batcher.slots");
+  telemetry::LatencyHistogram& forward =
+      telemetry::Registry::instance().histogram("batcher.forward_s");
+};
+
+BatcherInstruments& batcher_instruments() {
+  static BatcherInstruments instruments;
+  return instruments;
+}
+}  // namespace
 
 struct InferenceBatcher::Impl {
   std::size_t max_batch;
@@ -47,6 +68,12 @@ std::vector<Tensor> InferenceBatcher::dispatch(
     TVBF_REQUIRE(chunk_out.size() == chunk.size(),
                  "beamform_batch returned a wrong-sized batch");
     for (Tensor& iq : chunk_out) results.push_back(std::move(iq));
+
+    BatcherInstruments& bi = batcher_instruments();
+    bi.batches.add();
+    bi.frames.add(static_cast<std::int64_t>(chunk.size()));
+    bi.slots.add(static_cast<std::int64_t>(impl_->max_batch));
+    bi.forward.record(forward_s);
 
     const std::lock_guard<std::mutex> lock(impl_->mu);
     ++impl_->stats.batches;

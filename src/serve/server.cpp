@@ -62,6 +62,65 @@ struct Server::Impl {
   std::mutex batcher_mu;  // InferenceBatcher::dispatch is single-threaded
   std::vector<BatchDomain> domains;
 
+  // ---- telemetry -----------------------------------------------------------
+  // Server-wide instruments (per-session frame histograms live on the
+  // Session). in_flight counts frames acquired but not yet delivered or
+  // dropped; frame_s is dispatch-to-delivery across all sessions.
+  telemetry::Counter& t_frames =
+      telemetry::Registry::instance().counter("serve.frames");
+  telemetry::Counter& t_dropped =
+      telemetry::Registry::instance().counter("serve.dropped");
+  telemetry::Gauge& t_in_flight =
+      telemetry::Registry::instance().gauge("serve.in_flight");
+  telemetry::LatencyHistogram& t_frame_s =
+      telemetry::Registry::instance().histogram("serve.frame_s");
+  // Batch-gate decisions: parked (below quorum), fired at quorum, and the
+  // two partial-group flush paths (executor idle, session retirement).
+  telemetry::Counter& t_gate_parked =
+      telemetry::Registry::instance().counter("serve.batch.parked");
+  telemetry::Counter& t_gate_quorum =
+      telemetry::Registry::instance().counter("serve.batch.quorum_fired");
+  telemetry::Counter& t_gate_idle_flush =
+      telemetry::Registry::instance().counter("serve.batch.idle_flush");
+  telemetry::Counter& t_gate_retire_flush =
+      telemetry::Registry::instance().counter("serve.batch.retire_flush");
+
+  // Background sampler (run() starts it when config asks for one).
+  std::thread sampler;
+  std::mutex sampler_mu;
+  std::condition_variable sampler_cv;
+  bool sampler_stop = false;
+
+  void start_sampler() {
+    if (config.telemetry_period_s <= 0.0 || !config.telemetry_sink) return;
+    sampler = std::thread([this] {
+      const auto period = std::chrono::duration<double>(
+          config.telemetry_period_s);
+      std::unique_lock<std::mutex> lock(sampler_mu);
+      while (!sampler_stop) {
+        if (sampler_cv.wait_for(lock, period,
+                                [this] { return sampler_stop; }))
+          break;
+        lock.unlock();
+        config.telemetry_sink(telemetry::Registry::instance().snapshot());
+        lock.lock();
+      }
+    });
+  }
+
+  void stop_sampler() {
+    if (!sampler.joinable()) return;
+    {
+      const std::lock_guard<std::mutex> lock(sampler_mu);
+      sampler_stop = true;
+    }
+    sampler_cv.notify_all();
+    sampler.join();
+    // A guaranteed final snapshot: short runs see at least one emission,
+    // and the last one always reflects the finished run.
+    config.telemetry_sink(telemetry::Registry::instance().snapshot());
+  }
+
   explicit Impl(ServerConfig cfg)
       : config(cfg), batcher(cfg.max_batch) {}
 
@@ -107,9 +166,12 @@ struct Server::Impl {
           } else {
             s.ready.pop_front();  // freshest frames win
             ++s.dropped;
+            t_dropped.add();
+            t_in_flight.sub();
           }
         }
         s.ready.push_back(std::move(frame));
+        t_in_flight.add();
         if (graph_mode) try_launch_locked(s);
         lock.unlock();
         cv_work.notify_all();
@@ -195,6 +257,7 @@ struct Server::Impl {
     s.frame = std::move(s.ready.front());
     s.ready.pop_front();
     s.busy = true;
+    s.dispatch_time = std::chrono::steady_clock::now();
     cv_space.notify_all();
     const std::size_t angles = s.frame.num_acquisitions();
     if (angles != s.graph_angles) {
@@ -224,6 +287,14 @@ struct Server::Impl {
       s.busy = false;
       if (!error) {
         ++s.frames;
+        t_frames.add();
+        t_in_flight.sub();
+        const double frame_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          s.dispatch_time)
+                .count();
+        s.frame_latency.record(frame_s);
+        t_frame_s.record(frame_s);
         const auto& t = s.processor().last_times();
         s.tof_stats.record(t.tof_s);
         s.compound_stats.record(t.compound_s);
@@ -272,7 +343,11 @@ struct Server::Impl {
     BatchDomain& d = domain_of(s.batched());
     d.parked.push_back(&s);
     const std::size_t quorum = quorum_of(d, s);
-    if (d.parked.size() < quorum) return graph::Status::kDeferred;
+    if (d.parked.size() < quorum) {
+      t_gate_parked.add();
+      return graph::Status::kDeferred;
+    }
+    t_gate_quorum.add();
     std::vector<Session*> group = std::move(d.parked);
     d.parked.clear();
     lock.unlock();
@@ -340,6 +415,7 @@ struct Server::Impl {
     std::unique_lock<std::mutex> lock(domain_mu);
     for (auto& d : domains) {
       if (d.parked.empty()) continue;
+      t_gate_idle_flush.add();
       std::vector<Session*> group = std::move(d.parked);
       d.parked.clear();
       lock.unlock();
@@ -358,6 +434,7 @@ struct Server::Impl {
     if (d.parked.empty()) return;
     const std::size_t quorum = quorum_of(d, *d.parked.front());
     if (d.parked.size() < quorum) return;
+    t_gate_retire_flush.add();
     std::vector<Session*> group = std::move(d.parked);
     d.parked.clear();
     lock.unlock();
@@ -444,6 +521,7 @@ struct Server::Impl {
         s->busy = true;
       }
       cv_space.notify_all();
+      const auto dispatch_tp = std::chrono::steady_clock::now();
 
       rt::FrameProcessor::StageTimes times;
       double sink_s = 0.0;
@@ -459,6 +537,14 @@ struct Server::Impl {
         fail(std::current_exception());
         return;
       }
+      const double frame_s = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 dispatch_tp)
+                                 .count();
+      s->frame_latency.record(frame_s);
+      t_frame_s.record(frame_s);
+      t_frames.add();
+      t_in_flight.sub();
       {
         const std::lock_guard<std::mutex> lock(mu);
         s->busy = false;
@@ -513,6 +599,7 @@ struct Server::Impl {
         }
       }
       cv_space.notify_all();
+      const auto dispatch_tp = std::chrono::steady_clock::now();
 
       std::vector<double> tof_s(group.size()), comp_s(group.size()),
           post_s(group.size()), sink_s(group.size());
@@ -540,6 +627,16 @@ struct Server::Impl {
       } catch (...) {
         fail(std::current_exception());
         return;
+      }
+      const double frame_s = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 dispatch_tp)
+                                 .count();
+      for (Session* s : group) {
+        s->frame_latency.record(frame_s);
+        t_frame_s.record(frame_s);
+        t_frames.add();
+        t_in_flight.sub();
       }
       {
         const std::lock_guard<std::mutex> lock(mu);
@@ -631,12 +728,14 @@ ServerReport Server::run() {
   const auto cache_before = rt::PlanCache::instance().stats();
   Timer wall;
 
+  im.start_sampler();
   if (im.graph_mode)
     im.run_graph();
   else
     im.run_round_robin();
 
   const double wall_s = wall.seconds();
+  im.stop_sampler();
   if (im.first_error) std::rethrow_exception(im.first_error);
 
   ServerReport report;

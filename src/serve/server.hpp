@@ -42,11 +42,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "serve/inference_batcher.hpp"
 #include "serve/session.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace tvbf::serve {
 
@@ -83,6 +85,12 @@ struct ServerConfig {
   bool cost_aware_batching = true;
   FrameParallelism frame_parallelism = FrameParallelism::kAuto;
   Scheduling scheduling = Scheduling::kGraph;
+  /// With a sink set and a positive period, run() keeps a background
+  /// sampler thread that emits a telemetry Registry snapshot to the sink
+  /// every period (plus one final snapshot as the run finishes). The sink
+  /// runs on the sampler thread; keep it cheap and non-blocking.
+  double telemetry_period_s = 0.0;
+  std::function<void(const telemetry::Snapshot&)> telemetry_sink = {};
 };
 
 /// What one Server::run did.

@@ -13,7 +13,9 @@ const rt::StageStats& SessionReport::stage(const std::string& name) const {
 }
 
 Session::Session(int id, SessionConfig config, bool batching_enabled)
-    : id_(id),
+    : frame_latency(telemetry::Registry::instance().histogram(
+          "serve.session." + std::to_string(id) + ".frame_s")),
+      id_(id),
       config_(std::move(config)),
       processor_(config_.beamformer, config_.pipeline) {
   TVBF_REQUIRE(config_.source != nullptr, "session needs a frame source");

@@ -9,6 +9,7 @@
 // bounded ready-frame queue filled by the session's producer thread.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -18,6 +19,7 @@
 #include "graph/frame_graph.hpp"
 #include "runtime/frame_source.hpp"
 #include "runtime/pipeline.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace tvbf::serve {
 
@@ -104,6 +106,14 @@ class Session {
   double forward_each_s = 0.0;     ///< per-frame share of the batch forward
   double sink_s = 0.0;             ///< sink time of the frame in flight
   bool retired = false;            ///< retirement reported to the domain
+
+  // ---- telemetry ----
+  /// Per-session frame latency ("serve.session.<id>.frame_s"): dispatch
+  /// (leaving the ready queue) to delivery. Registered at admission; the
+  /// registry keeps the reference valid for the process lifetime.
+  telemetry::LatencyHistogram& frame_latency;
+  /// When the in-flight frame left the ready queue (graph scheduling).
+  std::chrono::steady_clock::time_point dispatch_time{};
 
  private:
   int id_ = -1;

@@ -1,0 +1,405 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "telemetry/trace.hpp"
+
+namespace tvbf::telemetry {
+
+namespace detail {
+std::atomic<bool> g_enabled{true};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::size_t thread_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t mine = next.fetch_add(1, std::memory_order_relaxed);
+  return mine;
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+namespace {
+
+// Finite bucket bounds in nanoseconds: 1 µs * 2^(i/4) for i in
+// [0, kNumBounds). Precomputed once so record() is a binary search over a
+// read-only array.
+const std::array<std::int64_t, LatencyHistogram::kNumBounds>& bounds_ns() {
+  static const auto bounds = [] {
+    std::array<std::int64_t, LatencyHistogram::kNumBounds> b{};
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b[i] = static_cast<std::int64_t>(
+          std::llround(1e3 * std::exp2(static_cast<double>(i) /
+                                       LatencyHistogram::kBucketsPerOctave)));
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+std::int64_t to_ns(double seconds) {
+  if (!(seconds > 0.0)) return 0;
+  double ns = seconds * 1e9;
+  if (ns >= 9e18) return std::numeric_limits<std::int64_t>::max();
+  return static_cast<std::int64_t>(std::llround(ns));
+}
+
+std::size_t bucket_index_ns(std::int64_t ns) {
+  const auto& b = bounds_ns();
+  // First bound strictly greater than ns; ns == bound belongs to the
+  // bucket above the bound (lower edges are inclusive).
+  auto it = std::upper_bound(b.begin(), b.end(), ns);
+  return static_cast<std::size_t>(it - b.begin());
+}
+
+}  // namespace
+
+double LatencyHistogram::bucket_lower_bound(std::size_t i) {
+  if (i == 0) return 0.0;
+  return static_cast<double>(bounds_ns()[i - 1]) * 1e-9;
+}
+
+std::size_t LatencyHistogram::bucket_index(double seconds) {
+  return bucket_index_ns(to_ns(seconds));
+}
+
+void LatencyHistogram::record(double seconds) {
+  if (!enabled()) return;
+  const std::int64_t ns = to_ns(seconds);
+  buckets_[bucket_index_ns(ns)].fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::int64_t cur = min_ns_.load(std::memory_order_relaxed);
+  while (ns < cur &&
+         !min_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+  cur = max_ns_.load(std::memory_order_relaxed);
+  while (ns > cur &&
+         !max_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t LatencyHistogram::count() const {
+  std::int64_t n = 0;
+  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+  return n;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  min_ns_.store(std::numeric_limits<std::int64_t>::max(),
+                std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Quantile from a merged bucket array: walk the cumulative count to the
+// target rank, then interpolate geometrically inside the winning bucket
+// (log buckets make the geometric midpoint the unbiased choice).
+double quantile_from_buckets(
+    const std::array<std::int64_t, LatencyHistogram::kNumBuckets>& counts,
+    std::int64_t total, double q, double min_s, double max_s) {
+  if (total <= 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::int64_t c = counts[i];
+    if (c <= 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      double lo = LatencyHistogram::bucket_lower_bound(i);
+      double hi = (i + 1 < counts.size())
+                      ? LatencyHistogram::bucket_lower_bound(i + 1)
+                      : max_s;
+      if (lo <= 0.0) lo = std::min(min_s, hi);
+      if (hi <= lo) hi = lo;
+      // Fractional position of the target rank inside this bucket.
+      const double frac =
+          std::clamp((target - static_cast<double>(cum)) /
+                         static_cast<double>(c),
+                     0.0, 1.0);
+      double v = (lo > 0.0 && hi > 0.0)
+                     ? lo * std::pow(hi / lo, frac)
+                     : lo + (hi - lo) * frac;
+      return std::clamp(v, min_s, max_s);
+    }
+    cum += c;
+  }
+  return max_s;
+}
+
+}  // namespace
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot s;
+  // Read each bucket exactly once; every derived figure (count, quantiles)
+  // comes from this one consistent copy, so a snapshot taken mid-record
+  // can lag but never contradict itself.
+  std::array<std::int64_t, kNumBuckets> counts{};
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  s.count = total;
+  s.sum_s = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  if (total > 0) {
+    const std::int64_t mn = min_ns_.load(std::memory_order_relaxed);
+    s.min_s = (mn == std::numeric_limits<std::int64_t>::max())
+                  ? 0.0
+                  : static_cast<double>(mn) * 1e-9;
+    s.max_s = static_cast<double>(max_ns_.load(std::memory_order_relaxed)) *
+              1e-9;
+    s.p50_s = quantile_from_buckets(counts, total, 0.50, s.min_s, s.max_s);
+    s.p90_s = quantile_from_buckets(counts, total, 0.90, s.min_s, s.max_s);
+    s.p99_s = quantile_from_buckets(counts, total, 0.99, s.min_s, s.max_s);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // node-based maps: references stay valid across inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() = default;  // never runs: instance is leaked
+
+Registry& Registry::instance() {
+  // Leaked on purpose: instrument references held by worker threads and
+  // static objects must stay valid through process teardown.
+  static Registry* const reg = new Registry();
+  return *reg;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    it = impl_->counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    it = impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    it = impl_->histograms
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot s;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  s.counters.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters)
+    s.counters.push_back({name, c->value()});
+  s.gauges.reserve(impl_->gauges.size());
+  for (const auto& [name, g] : impl_->gauges)
+    s.gauges.push_back({name, g->value()});
+  s.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms) {
+    HistogramSnapshot hs = h->snapshot();
+    hs.name = name;
+    s.histograms.push_back(std::move(hs));
+  }
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, g] : impl_->gauges) g->reset();
+  for (auto& [name, h] : impl_->histograms) h->reset();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot lookups + rendering
+
+namespace {
+template <typename Vec>
+auto find_by_name(const Vec& v, std::string_view name) ->
+    typename Vec::const_pointer {
+  for (const auto& e : v)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+}  // namespace
+
+const Snapshot::Value* Snapshot::counter(std::string_view name) const {
+  return find_by_name(counters, name);
+}
+const Snapshot::Value* Snapshot::gauge(std::string_view name) const {
+  return find_by_name(gauges, name);
+}
+const HistogramSnapshot* Snapshot::histogram(std::string_view name) const {
+  return find_by_name(histograms, name);
+}
+
+std::string render_table(const Snapshot& snapshot) {
+  std::string out;
+  char line[256];
+  auto emit = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof(line), fmt, args...);
+    out += line;
+  };
+  if (!snapshot.counters.empty()) {
+    emit("%-44s %14s\n", "counter", "value");
+    for (const auto& c : snapshot.counters)
+      emit("%-44s %14lld\n", c.name.c_str(),
+           static_cast<long long>(c.value));
+  }
+  if (!snapshot.gauges.empty()) {
+    if (!out.empty()) out += '\n';
+    emit("%-44s %14s\n", "gauge", "value");
+    for (const auto& g : snapshot.gauges)
+      emit("%-44s %14lld\n", g.name.c_str(),
+           static_cast<long long>(g.value));
+  }
+  if (!snapshot.histograms.empty()) {
+    if (!out.empty()) out += '\n';
+    emit("%-44s %10s %10s %10s %10s %10s %10s\n", "histogram (ms)", "count",
+         "mean", "p50", "p90", "p99", "max");
+    for (const auto& h : snapshot.histograms)
+      emit("%-44s %10lld %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+           h.name.c_str(), static_cast<long long>(h.count),
+           h.mean_s() * 1e3, h.p50_s * 1e3, h.p90_s * 1e3, h.p99_s * 1e3,
+           h.max_s * 1e3);
+  }
+  return out;
+}
+
+namespace {
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+}  // namespace
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, c.name);
+    out += ": " + std::to_string(c.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, g.name);
+    out += ": " + std::to_string(g.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, h.name);
+    out += ": {\"count\": " + std::to_string(h.count);
+    out += ", \"sum_s\": ";
+    append_double(out, h.sum_s);
+    out += ", \"mean_s\": ";
+    append_double(out, h.mean_s());
+    out += ", \"min_s\": ";
+    append_double(out, h.min_s);
+    out += ", \"max_s\": ";
+    append_double(out, h.max_s);
+    out += ", \"p50_s\": ";
+    append_double(out, h.p50_s);
+    out += ", \"p90_s\": ";
+    append_double(out, h.p90_s);
+    out += ", \"p99_s\": ";
+    append_double(out, h.p99_s);
+    out += "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedSpan
+
+ScopedSpan::ScopedSpan(LatencyHistogram* hist, const char* trace_name)
+    : hist_(hist), trace_name_(trace_name) {
+  const bool want_hist = hist_ != nullptr && enabled();
+  const bool want_trace = trace_name_ != nullptr && trace_active();
+  armed_ = want_hist || want_trace;
+  if (!want_trace) trace_name_ = nullptr;
+  if (armed_) start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!armed_) return;
+  const auto end = std::chrono::steady_clock::now();
+  if (hist_ != nullptr) {
+    hist_->record(std::chrono::duration<double>(end - start_).count());
+  }
+  if (trace_name_ != nullptr) {
+    trace_record(trace_name_, start_, end);
+  }
+}
+
+}  // namespace tvbf::telemetry

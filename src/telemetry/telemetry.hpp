@@ -1,0 +1,252 @@
+// Production telemetry: lock-free instruments behind a process-wide
+// registry.
+//
+// Not to be confused with src/metrics/ (image-quality metrics: resolution,
+// contrast, gCNR) — this module is runtime observability for the serving
+// stack. Three instrument kinds, all safe to record from any thread with no
+// locks on the hot path:
+//
+//  - Counter: monotonic count, sharded over cache-line-padded per-thread
+//    atomic cells so concurrent increments never contend on one CAS line;
+//  - Gauge: signed level tracked as sharded deltas (queue depths, in-flight
+//    frames) — add() and sub() from any thread, value() sums the shards;
+//  - LatencyHistogram: fixed log-spaced buckets from 1 µs to ~4 s (4 per
+//    octave), lock-free record (one bounds binary search + one relaxed
+//    fetch_add), merged snapshots with interpolated p50/p90/p99.
+//
+// Instruments live in the process-wide Registry, keyed by name, and are
+// never destroyed or moved once created — call sites resolve an instrument
+// once (at setup) and keep the reference. Registry::snapshot() reads every
+// instrument without stopping writers; render_table() and to_json() format
+// a snapshot for humans and machines.
+//
+// One runtime switch gates every record path: when set_enabled(false), a
+// record site costs exactly one relaxed atomic load and a predictable
+// branch, which is what lets the instrumentation stay compiled in for
+// production builds (bench_serve gates the enabled-vs-disabled throughput
+// ratio at >= 0.97x).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tvbf::telemetry {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when instruments record (the default). Relaxed load — this is the
+/// whole cost of a disabled record site.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips the process-wide record switch. Toggling while gauges are mid
+/// add/sub pair skews their level; flip between runs, not during them.
+void set_enabled(bool on);
+
+/// Small dense per-thread index (assigned on first use, never reused).
+/// Picks counter shards and names trace-event lanes.
+std::size_t thread_index();
+
+/// Shard count of Counter/Gauge (power of two).
+inline constexpr std::size_t kShards = 16;
+
+namespace detail {
+struct alignas(64) Cell {
+  std::atomic<std::int64_t> v{0};
+};
+
+/// Sharded signed accumulator: the storage both Counter and Gauge wrap.
+class ShardedSum {
+ public:
+  void add(std::int64_t delta) {
+    if (!enabled()) return;
+    cells_[thread_index() & (kShards - 1)].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    std::int64_t sum = 0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void reset() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  Cell cells_[kShards];
+};
+}  // namespace detail
+
+/// Monotonic event count. Not movable; lives in the Registry.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { sum_.add(n); }
+  std::int64_t value() const { return sum_.value(); }
+  void reset() { sum_.reset(); }
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  detail::ShardedSum sum_;
+};
+
+/// Signed level tracked as deltas (queue depth, frames in flight). The
+/// value is exact whenever every add() has a matching sub(), regardless of
+/// which threads issued them.
+class Gauge {
+ public:
+  void add(std::int64_t n = 1) { sum_.add(n); }
+  void sub(std::int64_t n = 1) { sum_.add(-n); }
+  std::int64_t value() const { return sum_.value(); }
+  void reset() { sum_.reset(); }
+
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  detail::ShardedSum sum_;
+};
+
+/// One histogram read: merged bucket state plus interpolated quantiles.
+struct HistogramSnapshot {
+  std::string name;
+  std::int64_t count = 0;
+  double sum_s = 0.0;
+  double min_s = 0.0;  ///< 0 when count == 0
+  double max_s = 0.0;
+  double p50_s = 0.0;
+  double p90_s = 0.0;
+  double p99_s = 0.0;
+
+  double mean_s() const {
+    return count > 0 ? sum_s / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Fixed-boundary log-bucketed latency histogram (seconds).
+///
+/// Buckets: [0, 1 µs), then 4 per octave up to 1 µs * 2^22 ≈ 4.19 s, then
+/// [4.19 s, ∞). record() is lock-free: a binary search over the static
+/// bounds plus one relaxed fetch_add on the bucket (min/max keep a CAS
+/// loop off the bucket path). Quantiles interpolate geometrically inside
+/// the winning bucket, clamped to the observed min/max, so the relative
+/// error is bounded by the bucket ratio 2^(1/4) ≈ 19 %.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBucketsPerOctave = 4;
+  static constexpr std::size_t kOctaves = 22;
+  /// Finite bounds between buckets; bucket count is kNumBounds + 1.
+  static constexpr std::size_t kNumBounds = kBucketsPerOctave * kOctaves + 1;
+  static constexpr std::size_t kNumBuckets = kNumBounds + 1;
+
+  /// Lower edge of bucket `i` (0 for the underflow bucket).
+  static double bucket_lower_bound(std::size_t i);
+  /// Bucket index a value lands in: i such that
+  /// bucket_lower_bound(i) <= seconds < bucket_lower_bound(i + 1).
+  static std::size_t bucket_index(double seconds);
+
+  void record(double seconds);
+  /// Merged point-in-time read. Safe while other threads record; the
+  /// result is a consistent set of bucket counts (each read once) whose
+  /// quantiles and count agree by construction.
+  HistogramSnapshot snapshot() const;
+  std::int64_t count() const;
+  void reset();
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+ private:
+  std::atomic<std::int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::int64_t> sum_ns_{0};
+  std::atomic<std::int64_t> min_ns_{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> max_ns_{0};
+};
+
+/// Point-in-time read of every registered instrument.
+struct Snapshot {
+  struct Value {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  std::vector<Value> counters;  ///< sorted by name
+  std::vector<Value> gauges;    ///< sorted by name
+  std::vector<HistogramSnapshot> histograms;  ///< sorted by name
+
+  /// Lookup helpers; null when the name is not registered.
+  const Value* counter(std::string_view name) const;
+  const Value* gauge(std::string_view name) const;
+  const HistogramSnapshot* histogram(std::string_view name) const;
+};
+
+/// Process-wide instrument registry. Lookup takes a mutex (call sites
+/// resolve once and keep the reference); the returned instruments are
+/// stable for the process lifetime — reset() zeroes them in place and
+/// never invalidates references.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LatencyHistogram& histogram(std::string_view name);
+
+  /// Reads every instrument without stopping writers.
+  Snapshot snapshot() const;
+
+  /// Zeroes every instrument in place (bench/test hook). References stay
+  /// valid.
+  void reset();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry();
+  ~Registry();
+  struct Impl;
+  Impl* impl_;  ///< leaked on purpose: instruments outlive static teardown
+};
+
+/// Human-readable table of a snapshot (counters, gauges, histogram
+/// quantiles in ms).
+std::string render_table(const Snapshot& snapshot);
+
+/// Machine-readable snapshot:
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}.
+std::string to_json(const Snapshot& snapshot);
+
+/// RAII stage timer: records the scope's wall time into a histogram on
+/// destruction and, when a trace name is given and tracing is active,
+/// emits one Chrome trace_event span (see trace.hpp). When telemetry is
+/// disabled and tracing inactive at construction the scope costs two
+/// relaxed loads and no clock reads. `hist` may be null (trace only);
+/// `trace_name` must outlive the span (string literals).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(LatencyHistogram* hist,
+                      const char* trace_name = nullptr);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  LatencyHistogram* hist_;
+  const char* trace_name_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tvbf::telemetry

@@ -1,0 +1,159 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "telemetry/telemetry.hpp"
+
+namespace tvbf::telemetry {
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      events_(new Event[capacity_]) {}
+
+void TraceBuffer::record(const char* name,
+                         std::chrono::steady_clock::time_point begin,
+                         std::chrono::steady_clock::time_point end) {
+  const std::size_t idx = head_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= capacity_) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event& e = events_[idx];
+  std::strncpy(e.name, name != nullptr ? name : "", sizeof(e.name) - 1);
+  e.name[sizeof(e.name) - 1] = '\0';
+  e.begin_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   begin.time_since_epoch())
+                   .count();
+  e.dur_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+          .count();
+  e.tid = static_cast<std::uint32_t>(thread_index());
+  // Publish: readers acquire this flag before touching the slot, so a
+  // half-written slot is invisible rather than racy.
+  e.ready.store(1, std::memory_order_release);
+}
+
+std::size_t TraceBuffer::size() const {
+  const std::size_t claimed =
+      std::min(head_.load(std::memory_order_relaxed), capacity_);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < claimed; ++i)
+    if (events_[i].ready.load(std::memory_order_acquire)) ++n;
+  return n;
+}
+
+std::size_t TraceBuffer::dropped() const {
+  return static_cast<std::size_t>(drops_.load(std::memory_order_relaxed));
+}
+
+void TraceBuffer::clear() {
+  const std::size_t claimed =
+      std::min(head_.load(std::memory_order_relaxed), capacity_);
+  for (std::size_t i = 0; i < claimed; ++i)
+    events_[i].ready.store(0, std::memory_order_relaxed);
+  drops_.store(0, std::memory_order_relaxed);
+  head_.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceBuffer::to_chrome_json() const {
+  const std::size_t claimed =
+      std::min(head_.load(std::memory_order_relaxed), capacity_);
+  // Timestamps are emitted relative to the earliest span so the viewer
+  // opens at t=0 instead of hours into steady_clock's epoch.
+  std::int64_t base_ns = 0;
+  bool have_base = false;
+  for (std::size_t i = 0; i < claimed; ++i) {
+    if (!events_[i].ready.load(std::memory_order_acquire)) continue;
+    if (!have_base || events_[i].begin_ns < base_ns) {
+      base_ns = events_[i].begin_ns;
+      have_base = true;
+    }
+  }
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  char buf[256];
+  for (std::size_t i = 0; i < claimed; ++i) {
+    const Event& e = events_[i];
+    if (!e.ready.load(std::memory_order_acquire)) continue;
+    // Escape is unnecessary: names are identifier-style stage/node labels
+    // copied from code, but guard against quotes/backslashes anyway.
+    char safe[sizeof(e.name)];
+    std::size_t w = 0;
+    for (std::size_t r = 0; e.name[r] != '\0' && w + 1 < sizeof(safe); ++r) {
+      const char c = e.name[r];
+      if (c == '"' || c == '\\') {
+        safe[w++] = '_';
+      } else if (static_cast<unsigned char>(c) >= 0x20) {
+        safe[w++] = c;
+      }
+    }
+    safe[w] = '\0';
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n  {\"name\": \"%s\", \"cat\": \"tvbf\", \"ph\": "
+                  "\"X\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, "
+                  "\"tid\": %u}",
+                  first ? "" : ",", safe,
+                  static_cast<double>(e.begin_ns - base_ns) * 1e-3,
+                  static_cast<double>(e.dur_ns) * 1e-3, e.tid);
+    out += buf;
+    first = false;
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide trace buffer
+
+namespace {
+std::atomic<bool> g_trace_active{false};
+std::atomic<TraceBuffer*> g_trace_buffer{nullptr};
+std::mutex g_trace_mu;  // serializes start/stop/export, not record
+}  // namespace
+
+bool trace_active() {
+  return g_trace_active.load(std::memory_order_relaxed);
+}
+
+void trace_start(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  TraceBuffer* buf = g_trace_buffer.load(std::memory_order_acquire);
+  if (buf == nullptr) {
+    // Leaked on purpose: worker threads may hold the pointer past main's
+    // static teardown.
+    buf = new TraceBuffer(capacity);
+    g_trace_buffer.store(buf, std::memory_order_release);
+  } else {
+    buf->clear();
+  }
+  g_trace_active.store(true, std::memory_order_relaxed);
+}
+
+void trace_stop() {
+  g_trace_active.store(false, std::memory_order_relaxed);
+}
+
+void trace_record(const char* name,
+                  std::chrono::steady_clock::time_point begin,
+                  std::chrono::steady_clock::time_point end) {
+  if (!trace_active()) return;
+  TraceBuffer* buf = g_trace_buffer.load(std::memory_order_acquire);
+  if (buf != nullptr) buf->record(name, begin, end);
+}
+
+std::string trace_export_json() {
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  TraceBuffer* buf = g_trace_buffer.load(std::memory_order_acquire);
+  if (buf == nullptr) return "{\"traceEvents\": []}\n";
+  return buf->to_chrome_json();
+}
+
+std::int64_t trace_dropped() {
+  TraceBuffer* buf = g_trace_buffer.load(std::memory_order_acquire);
+  return buf != nullptr ? static_cast<std::int64_t>(buf->dropped()) : 0;
+}
+
+}  // namespace tvbf::telemetry

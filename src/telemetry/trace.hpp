@@ -1,0 +1,86 @@
+// Frame-graph trace capture: a fixed-capacity lock-free buffer of
+// begin/end spans exported as Chrome trace_event JSON (load trace.json at
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// Capture is off by default and costs one relaxed load per span while off.
+// trace_start() arms the process-wide buffer (allocated once, reused),
+// spans recorded by ScopedSpan / trace_record() claim slots with a single
+// fetch_add — when the buffer fills further spans are counted as dropped,
+// never blocked — and trace_stop() disarms it. Export after stopping;
+// slots publish with a per-slot release/acquire flag so a straggling
+// writer is skipped, not raced.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace tvbf::telemetry {
+
+/// Fixed-capacity span buffer. All methods are safe to call concurrently;
+/// record() is wait-free (one fetch_add, one memcpy, one release store).
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity);
+
+  void record(const char* name, std::chrono::steady_clock::time_point begin,
+              std::chrono::steady_clock::time_point end);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Completed (published) events; may trail briefly behind claims while
+  /// writers are mid-record.
+  std::size_t size() const;
+  std::size_t dropped() const;
+  void clear();
+
+  /// Chrome trace_event JSON: {"traceEvents": [{"ph": "X", ...}, ...]}.
+  /// Timestamps are µs relative to the earliest recorded span.
+  std::string to_chrome_json() const;
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+ private:
+  struct Event {
+    // Name is copied (truncated) into the slot: node names are owned by
+    // graphs that may be destroyed before export.
+    char name[48];
+    std::int64_t begin_ns;
+    std::int64_t dur_ns;
+    std::uint32_t tid;
+    std::atomic<std::uint8_t> ready{0};
+  };
+
+  std::size_t capacity_;
+  std::unique_ptr<Event[]> events_;
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::int64_t> drops_{0};
+};
+
+/// True while the process-wide trace buffer is armed (relaxed load).
+bool trace_active();
+
+/// Arms the process-wide buffer, clearing any previous capture. The
+/// buffer is allocated on first use with `capacity` slots and reused by
+/// later captures (a larger later `capacity` does not grow it).
+void trace_start(std::size_t capacity = 1 << 16);
+
+/// Disarms capture. Call before exporting.
+void trace_stop();
+
+/// Records one span into the armed process-wide buffer; no-op while
+/// disarmed.
+void trace_record(const char* name,
+                  std::chrono::steady_clock::time_point begin,
+                  std::chrono::steady_clock::time_point end);
+
+/// Exports the process-wide buffer as Chrome trace JSON (empty trace
+/// object when nothing was captured).
+std::string trace_export_json();
+
+/// Spans dropped by the process-wide buffer since the last trace_start().
+std::int64_t trace_dropped();
+
+}  // namespace tvbf::telemetry

@@ -29,6 +29,7 @@
 #include "serve/async_sink.hpp"
 #include "serve/inference_batcher.hpp"
 #include "serve/server.hpp"
+#include "telemetry/telemetry.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "us/phantom.hpp"
 #include "us/tof.hpp"
@@ -449,6 +450,34 @@ TEST_F(ServeModelTest, MixedDasAndBatchedModelSessions) {
     EXPECT_EQ(max_abs_diff(got_das[k], expected_das[k]), 0.0f);
     EXPECT_EQ(max_abs_diff(got_vbf[k], expected_vbf[k]), 0.0f);
   }
+}
+
+// ---- telemetry sampler -----------------------------------------------------
+
+TEST_F(ServeTest, TelemetrySamplerDeliversPeriodicAndFinalSnapshots) {
+  telemetry::Registry::instance().reset();
+  std::mutex mu;
+  std::vector<std::int64_t> frame_counts;  // serve.frames per snapshot
+  ServerConfig cfg;
+  cfg.telemetry_period_s = 1e-3;
+  cfg.telemetry_sink = [&](const telemetry::Snapshot& snap) {
+    const auto* frames = snap.counter("serve.frames");
+    std::lock_guard<std::mutex> lock(mu);
+    frame_counts.push_back(frames != nullptr ? frames->value : 0);
+  };
+  Server server(cfg);
+  const std::int64_t frames = 6;
+  server.add_session({replay(frames), das(), pipeline_config(), {}});
+  const ServerReport report = server.run();
+
+  EXPECT_EQ(report.frames, frames);
+  // At minimum the guaranteed final snapshot arrived, it reflects every
+  // delivered frame, and the per-snapshot counts are monotone.
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_FALSE(frame_counts.empty());
+  EXPECT_EQ(frame_counts.back(), frames);
+  for (std::size_t i = 1; i < frame_counts.size(); ++i)
+    EXPECT_LE(frame_counts[i - 1], frame_counts[i]);
 }
 
 // ---- async sink ------------------------------------------------------------

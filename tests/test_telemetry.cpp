@@ -1,0 +1,377 @@
+// Telemetry instrument tests: sharded counters under parallel hammering,
+// histogram bucket boundaries and quantile accuracy against a sorted
+// reference, snapshot-while-recording consistency, trace-event JSON
+// well-formedness, and the disabled-instrument no-op guarantee.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+using tvbf::telemetry::Counter;
+using tvbf::telemetry::Gauge;
+using tvbf::telemetry::HistogramSnapshot;
+using tvbf::telemetry::LatencyHistogram;
+using tvbf::telemetry::Registry;
+using tvbf::telemetry::Snapshot;
+using tvbf::telemetry::TraceBuffer;
+
+/// Every test leaves the process-wide switch enabled for the next one.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { tvbf::telemetry::set_enabled(true); }
+};
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge sharding
+
+TEST_F(TelemetryTest, CounterCountsExactlyUnderParallelHammering) {
+  Counter& c = Registry::instance().counter("test.hammer_counter");
+  c.reset();
+  constexpr std::size_t kIters = 200000;
+  // parallel_for spreads the range across the pool; every add() must land.
+  tvbf::parallel_for(
+      0, kIters,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) c.add();
+      },
+      1024);
+  EXPECT_EQ(c.value(), static_cast<std::int64_t>(kIters));
+}
+
+TEST_F(TelemetryTest, CounterExactAcrossDedicatedThreads) {
+  Counter& c = Registry::instance().counter("test.thread_counter");
+  c.reset();
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::int64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST_F(TelemetryTest, GaugeBalancedAddsSubsReturnToZero) {
+  Gauge& g = Registry::instance().gauge("test.balance_gauge");
+  g.reset();
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < 10000; ++i) {
+        g.add(3);
+        g.sub(2);
+        g.sub(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.value(), 0);
+  g.add(7);
+  EXPECT_EQ(g.value(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket boundaries
+
+TEST_F(TelemetryTest, HistogramBucketBoundaries) {
+  // Bucket 0 is [0, 1 µs); each lower bound is inclusive.
+  EXPECT_EQ(LatencyHistogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(-1.0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(0.5e-6), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1e-6), 1u);
+
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_lower_bound(0), 0.0);
+  EXPECT_NEAR(LatencyHistogram::bucket_lower_bound(1), 1e-6, 1e-12);
+
+  // Exactly on a lower edge lands in that bucket; just below lands in the
+  // previous one. Quantized to integer nanoseconds, so test edges >= 1 µs.
+  for (std::size_t i = 1; i + 1 < LatencyHistogram::kNumBuckets; ++i) {
+    const double edge = LatencyHistogram::bucket_lower_bound(i);
+    EXPECT_EQ(LatencyHistogram::bucket_index(edge), i) << "edge " << edge;
+    EXPECT_EQ(LatencyHistogram::bucket_index(edge - 1.5e-9), i - 1)
+        << "below edge " << edge;
+  }
+
+  // Bounds grow monotonically by the octave ratio.
+  for (std::size_t i = 2; i + 1 < LatencyHistogram::kNumBuckets; ++i) {
+    const double lo = LatencyHistogram::bucket_lower_bound(i - 1);
+    const double hi = LatencyHistogram::bucket_lower_bound(i);
+    EXPECT_GT(hi, lo);
+    EXPECT_NEAR(hi / lo, std::exp2(0.25), 0.01);
+  }
+
+  // Far beyond the finite range: the overflow bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_index(100.0),
+            LatencyHistogram::kNumBuckets - 1);
+}
+
+TEST_F(TelemetryTest, HistogramCountSumMinMax) {
+  LatencyHistogram h;
+  h.record(1e-3);
+  h.record(2e-3);
+  h.record(4e-3);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3);
+  EXPECT_NEAR(s.sum_s, 7e-3, 1e-9);
+  EXPECT_NEAR(s.min_s, 1e-3, 1e-9);
+  EXPECT_NEAR(s.max_s, 4e-3, 1e-9);
+  EXPECT_NEAR(s.mean_s(), 7e-3 / 3.0, 1e-9);
+
+  h.reset();
+  const HistogramSnapshot empty = h.snapshot();
+  EXPECT_EQ(empty.count, 0);
+  EXPECT_EQ(empty.min_s, 0.0);
+  EXPECT_EQ(empty.p99_s, 0.0);
+}
+
+TEST_F(TelemetryTest, HistogramQuantilesMatchSortedReference) {
+  // Log-uniform latencies spanning 10 µs .. 100 ms: the histogram's
+  // quantiles must track a sorted-array reference within the bucket
+  // resolution (ratio 2^0.25 per bucket → <= ~19 % relative error).
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> log_u(std::log(1e-5),
+                                               std::log(1e-1));
+  LatencyHistogram h;
+  std::vector<double> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::exp(log_u(rng));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const auto exact = [&](double q) {
+    return values[static_cast<std::size_t>(
+        std::min<double>(q * static_cast<double>(values.size()),
+                         static_cast<double>(values.size() - 1)))];
+  };
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 20000);
+  for (const auto& [want, got] :
+       {std::pair{exact(0.50), s.p50_s}, std::pair{exact(0.90), s.p90_s},
+        std::pair{exact(0.99), s.p99_s}}) {
+    EXPECT_GT(got, want / std::exp2(0.5));
+    EXPECT_LT(got, want * std::exp2(0.5));
+  }
+  // Quantiles are ordered and clamped to the observed range.
+  EXPECT_LE(s.min_s, s.p50_s);
+  EXPECT_LE(s.p50_s, s.p90_s);
+  EXPECT_LE(s.p90_s, s.p99_s);
+  EXPECT_LE(s.p99_s, s.max_s);
+}
+
+TEST_F(TelemetryTest, SnapshotWhileRecordingIsConsistent) {
+  LatencyHistogram& h =
+      Registry::instance().histogram("test.live_snapshot_hist");
+  h.reset();
+  Counter& c = Registry::instance().counter("test.live_snapshot_count");
+  c.reset();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      std::mt19937 rng(std::random_device{}());
+      std::uniform_real_distribution<double> u(1e-6, 1e-2);
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.record(u(rng));
+        c.add();
+      }
+    });
+  }
+  // Snapshots taken mid-stream: counts grow monotonically and every
+  // derived figure stays internally consistent (quantiles within
+  // [min, max], count matching the bucket sum by construction).
+  std::int64_t last_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    const HistogramSnapshot s = h.snapshot();
+    EXPECT_GE(s.count, last_count);
+    last_count = s.count;
+    if (s.count > 0) {
+      EXPECT_GE(s.p50_s, s.min_s);
+      EXPECT_LE(s.p99_s, s.max_s);
+      EXPECT_GT(s.sum_s, 0.0);
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, h.count());
+}
+
+// ---------------------------------------------------------------------------
+// Registry and rendering
+
+TEST_F(TelemetryTest, RegistryReturnsStableReferences) {
+  Counter& a = Registry::instance().counter("test.stable");
+  Counter& b = Registry::instance().counter("test.stable");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.add(5);
+  const Snapshot snap = Registry::instance().snapshot();
+  const auto* v = snap.counter("test.stable");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->value, 5);
+  EXPECT_EQ(snap.counter("test.no_such_name"), nullptr);
+}
+
+TEST_F(TelemetryTest, RenderTableAndJsonContainInstruments) {
+  Registry::instance().counter("test.render_counter").reset();
+  Registry::instance().counter("test.render_counter").add(3);
+  Registry::instance().histogram("test.render_hist").record(2e-3);
+  const Snapshot snap = Registry::instance().snapshot();
+  const std::string table = tvbf::telemetry::render_table(snap);
+  EXPECT_NE(table.find("test.render_counter"), std::string::npos);
+  EXPECT_NE(table.find("test.render_hist"), std::string::npos);
+  const std::string json = tvbf::telemetry::to_json(snap);
+  EXPECT_NE(json.find("\"test.render_counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.render_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_s\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Disabled instruments
+
+TEST_F(TelemetryTest, DisabledInstrumentsRecordNothing) {
+  Counter& c = Registry::instance().counter("test.disabled_counter");
+  LatencyHistogram& h =
+      Registry::instance().histogram("test.disabled_hist");
+  c.reset();
+  h.reset();
+  tvbf::telemetry::set_enabled(false);
+  EXPECT_FALSE(tvbf::telemetry::enabled());
+  c.add(100);
+  h.record(1e-3);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  tvbf::telemetry::set_enabled(true);
+  c.add(1);
+  h.record(1e-3);
+  EXPECT_EQ(c.value(), 1);
+  EXPECT_EQ(h.count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Trace buffer
+
+// Minimal structural JSON scan: balanced braces/brackets outside strings,
+// non-empty, and the expected top-level key. A parser without a parser.
+void expect_well_formed_trace_json(const std::string& json) {
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  int braces = 0, brackets = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST_F(TelemetryTest, TraceBufferRecordsAndExports) {
+  TraceBuffer buf(64);
+  const auto t0 = std::chrono::steady_clock::now();
+  buf.record("alpha", t0, t0 + std::chrono::microseconds(100));
+  buf.record("beta", t0 + std::chrono::microseconds(50),
+             t0 + std::chrono::microseconds(70));
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.dropped(), 0u);
+  const std::string json = buf.to_chrome_json();
+  expect_well_formed_trace_json(json);
+  EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  // Earliest event anchors ts at 0.
+  EXPECT_NE(json.find("\"ts\": 0.000"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, TraceBufferDropsWhenFullAndClears) {
+  TraceBuffer buf(4);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i)
+    buf.record("x", t0, t0 + std::chrono::microseconds(1));
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.dropped(), 6u);
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.dropped(), 0u);
+  buf.record("y", t0, t0 + std::chrono::microseconds(1));
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST_F(TelemetryTest, TraceBufferConcurrentRecordsAllLand) {
+  TraceBuffer buf(100000);
+  const auto t0 = std::chrono::steady_clock::now();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&buf, t0] {
+      for (int i = 0; i < kPerThread; ++i)
+        buf.record("span", t0, t0 + std::chrono::microseconds(2));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(buf.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(buf.dropped(), 0u);
+  expect_well_formed_trace_json(buf.to_chrome_json());
+}
+
+TEST_F(TelemetryTest, GlobalTraceCaptureViaScopedSpan) {
+  tvbf::telemetry::trace_start(1024);
+  EXPECT_TRUE(tvbf::telemetry::trace_active());
+  {
+    tvbf::telemetry::ScopedSpan span(nullptr, "test.traced_span");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  tvbf::telemetry::trace_stop();
+  EXPECT_FALSE(tvbf::telemetry::trace_active());
+  const std::string json = tvbf::telemetry::trace_export_json();
+  expect_well_formed_trace_json(json);
+  EXPECT_NE(json.find("\"test.traced_span\""), std::string::npos);
+
+  // Disarmed: spans are not captured.
+  {
+    tvbf::telemetry::ScopedSpan span(nullptr, "test.not_captured");
+  }
+  EXPECT_EQ(tvbf::telemetry::trace_export_json().find("test.not_captured"),
+            std::string::npos);
+}
+
+}  // namespace
