@@ -187,7 +187,6 @@ ModelSet get_trained_models(const Scene& scene, std::int64_t train_frames,
   opt.initial_lr = 2e-3;
   opt.final_lr = 1e-5;
   opt.cyclic = true;
-  opt.verbose = false;
 
   if (!have_vbf) {
     t.reset();

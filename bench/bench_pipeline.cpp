@@ -1,7 +1,7 @@
 // Streaming-runtime benchmark: quantifies the cached-ToF-plan win.
 //
 // Part 1 times the ToF stage alone — per-frame us::tof_correct (geometry
-// rebuilt every frame, the pre-runtime behavior) against rt::TofPlan::apply
+// rebuilt every frame, the pre-runtime behavior) against us::TofPlan::apply
 // through the plan cache (geometry built once, every frame pays only the
 // gather). Part 2 runs the full source -> ToF -> DAS -> envelope/log
 // pipeline both ways and prints per-stage latency. Part 3 checks that the
@@ -25,7 +25,7 @@
 #include "common/timer.hpp"
 #include "dsp/hilbert.hpp"
 #include "runtime/pipeline.hpp"
-#include "runtime/plan_cache.hpp"
+#include "us/plan_cache.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "us/tof.hpp"
 
@@ -105,7 +105,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(acq.num_channels()), t.seconds());
 
   // ---- part 1: ToF stage, per-frame geometry vs cached plan ---------------
-  rt::PlanCache::instance().clear();
+  us::PlanCache::instance().clear();
   const std::int64_t n_base = quick ? 10 : 5;
   const std::int64_t n_cached = quick ? 50 : 25;
 
@@ -115,8 +115,8 @@ int main(int argc, char** argv) {
     scratch = us::tof_correct(acq, grid, {});
   const double per_frame_s = t.seconds() / static_cast<double>(n_base);
 
-  const auto plan = rt::PlanCache::instance().get_for(acq, grid);
-  rt::ChannelWorkspace workspace;
+  const auto plan = us::PlanCache::instance().get_for(acq, grid);
+  us::ChannelWorkspace workspace;
   us::TofCube cached_cube;
   plan->apply(acq, false, cached_cube, &workspace);  // warm-up + buffers
   t.reset();

@@ -43,14 +43,14 @@
 #include "beamform/das.hpp"
 #include "bench_common.hpp"
 #include "common/parallel.hpp"
-#include "device/accel_device.hpp"
+#include "accel/accel_device.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "telemetry/telemetry.hpp"
 #include "models/neural_beamformer.hpp"
 #include "models/tiny_vbf.hpp"
 #include "runtime/pipeline.hpp"
-#include "runtime/plan_cache.hpp"
+#include "us/plan_cache.hpp"
 #include "serve/server.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "us/phantom.hpp"
@@ -160,9 +160,9 @@ int main(int argc, char** argv) {
   cfg.grid = grid;
 
   // ---- part 1: N concurrent DAS sessions vs the same N run sequentially ----
-  rt::PlanCache::instance().clear();
+  us::PlanCache::instance().clear();
   {  // warm the plan cache so both lanes pay zero geometry passes
-    const auto plan = rt::PlanCache::instance().get_for(acq, grid);
+    const auto plan = us::PlanCache::instance().get_for(acq, grid);
     (void)plan;
   }
 
@@ -335,7 +335,7 @@ int main(int argc, char** argv) {
   };
   const auto [cpu_report, cpu_frames] = run_backend(nullptr);
   const auto [accel_report, accel_frames] =
-      run_backend(std::make_shared<device::AccelDevice>());
+      run_backend(std::make_shared<accel::AccelDevice>());
   float backend_diff = 0.0f;
   for (std::size_t s = 0; s < cpu_frames.size(); ++s) {
     const float d = max_abs_diff(cpu_frames[s], accel_frames[s]);

@@ -23,7 +23,7 @@
 #include "beamform/compounding.hpp"
 #include "beamform/das.hpp"
 #include "common/rng.hpp"
-#include "device/accel_device.hpp"
+#include "accel/accel_device.hpp"
 #include "io/writers.hpp"
 #include "runtime/pipeline.hpp"
 #include "serve/async_sink.hpp"
@@ -143,7 +143,7 @@ int main(int argc, char** argv) {
   cfg.grid = grid;
   cfg.overlap = overlap;
   if (backend == "accel")
-    cfg.device = std::make_shared<device::AccelDevice>();
+    cfg.device = std::make_shared<accel::AccelDevice>();
   rt::Pipeline pipeline(source, std::make_shared<bf::DasBeamformer>(probe),
                         cfg);
 

@@ -22,7 +22,7 @@
 #include "beamform/compounding.hpp"
 #include "beamform/das.hpp"
 #include "common/rng.hpp"
-#include "device/accel_device.hpp"
+#include "accel/accel_device.hpp"
 #include "io/writers.hpp"
 #include "models/neural_beamformer.hpp"
 #include "models/tiny_vbf.hpp"
@@ -147,7 +147,7 @@ int main(int argc, char** argv) {
   if (backend == "accel") {
     // One shared cycle-model device across the sessions (it is stateless
     // per submission; only its cost model matters to the server).
-    rf_cfg.device = std::make_shared<device::AccelDevice>();
+    rf_cfg.device = std::make_shared<accel::AccelDevice>();
   }
   rt::PipelineConfig analytic_cfg = rf_cfg;
   analytic_cfg.tof.analytic = true;

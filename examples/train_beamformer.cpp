@@ -72,7 +72,9 @@ int main(int argc, char** argv) {
   opt.epochs = epochs;
   opt.initial_lr = 2e-3;
   opt.final_lr = 1e-5;
-  opt.verbose = true;
+  opt.log = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+  };
   t.reset();
   const auto report = models::train_model(
       [&](const Tensor& in) { return model->forward(nn::constant(in)); },

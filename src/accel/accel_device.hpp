@@ -1,6 +1,6 @@
 // Modeled-accelerator backend.
 //
-// AccelDevice is the cycle model in src/accel/ wearing the Device
+// AccelDevice is the cycle model in src/accel/ wearing the device::Device
 // interface: submit() executes on the CPU reference path (outputs stay
 // bit-identical to CpuDevice — there is no FPGA to run on, see DESIGN.md),
 // while estimate_seconds() prices the list on the 4-PE / 16-MAC array at
@@ -12,37 +12,42 @@
 // frames on the accelerator, whereas the CPU's per-list cost is ~20 us —
 // so serve::InferenceBatcher derives a much larger preferred batch from
 // AccelDevice estimates than from CpuDevice ones.
+//
+// The adapter lives in accel/ (not device/) on purpose: it needs the full
+// accelerator simulator, which sits near the top of the layering DAG, while
+// device/ is the low-level command boundary every compute module encodes
+// against (see tools/check/tvbf-check.conf).
 #pragma once
 
 #include "accel/accelerator.hpp"
 #include "device/cpu_device.hpp"
 #include "device/device.hpp"
 
-namespace tvbf::device {
+namespace tvbf::accel {
 
-class AccelDevice : public Device {
+class AccelDevice : public device::Device {
  public:
   /// Modeled host->accelerator round trip per submitted command list
   /// (operand DMA + invocation + readback posting), amortized across
   /// everything stacked into the list.
   static constexpr double kDispatchOverheadSeconds = 1e-3;
 
-  explicit AccelDevice(accel::AccelConfig config = {}) : sim_(config) {}
+  explicit AccelDevice(AccelConfig config = {}) : sim_(config) {}
 
   std::string name() const override { return "accel"; }
 
-  const accel::AcceleratorSim& simulator() const { return sim_; }
+  const AcceleratorSim& simulator() const { return sim_; }
 
   /// Modeled cycles for one command on the PE array.
-  std::int64_t command_cycles(const Command& cmd) const;
+  std::int64_t command_cycles(const device::Command& cmd) const;
 
  protected:
-  void execute(const CommandList& list) override;
-  double estimate_list(const CommandList& list) const override;
+  void execute(const device::CommandList& list) override;
+  double estimate_list(const device::CommandList& list) const override;
 
  private:
-  accel::AcceleratorSim sim_;
-  CpuDevice cpu_;  ///< functional execution (bit-identical reference path)
+  AcceleratorSim sim_;
+  device::CpuDevice cpu_;  ///< functional execution (bit-identical reference)
 };
 
-}  // namespace tvbf::device
+}  // namespace tvbf::accel

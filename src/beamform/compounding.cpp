@@ -4,7 +4,7 @@
 
 #include "common/parallel.hpp"
 #include "dsp/hilbert.hpp"
-#include "runtime/plan_cache.hpp"
+#include "us/plan_cache.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "us/simulator.hpp"
 
@@ -40,13 +40,13 @@ Tensor compound_acquisitions(const std::vector<us::Acquisition>& acqs,
   // angle's plan comes from the global cache and is rebuilt at most once
   // per process, not once per compounded frame.
   us::TofCube cube;
-  rt::ChannelWorkspace workspace;
+  us::ChannelWorkspace workspace;
   Tensor sum;  // analytic: (nz, nx, 2) IQ; RF: (nz, nx) beamformed RF
   for (const auto& acq : acqs) {
     TVBF_REQUIRE(acq.probe.num_elements == acqs.front().probe.num_elements,
                  "acquisitions use different probes");
     const auto plan =
-        rt::PlanCache::instance().get_for(acq, grid, params.tof.interp);
+        us::PlanCache::instance().get_for(acq, grid, params.tof.interp);
     plan->apply(acq, params.tof.analytic, cube, &workspace);
     const DasBeamformer das(acq.probe, params.apodization);
     // On RF cubes, sum the beamformed RF planes: the Hilbert transform is

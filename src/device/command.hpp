@@ -10,15 +10,15 @@
 // are legal as estimate-only cost probes and must never be submitted).
 //
 // The command structs sit below every compute module: they depend only on
-// kernels/ (Conv2dShape) and dsp/ (Interp), so tensor, nn, beamform,
-// runtime and serve can all encode against them without cycles.
+// kernels/ (Conv2dShape) and common/ (Interp), so tensor, dsp, nn,
+// beamform, runtime and serve can all encode against them without cycles.
 #pragma once
 
 #include <cstdint>
 #include <variant>
 #include <vector>
 
-#include "dsp/interpolate.hpp"
+#include "common/interp.hpp"
 #include "kernels/conv.hpp"
 
 namespace tvbf::device {
@@ -108,7 +108,7 @@ struct TofGatherCmd {
   float* out_re = nullptr;
   float* out_im = nullptr;
   std::int64_t nz = 0, nx = 0, nch = 0, nsamples = 0;
-  dsp::Interp interp = dsp::Interp::kLinear;
+  Interp interp = Interp::kLinear;
 };
 
 /// Weighted channel sum of a ToF cube (DAS apply). re/im are (nz, nx, nch)

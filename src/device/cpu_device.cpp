@@ -12,12 +12,12 @@ namespace tvbf::device {
 namespace {
 
 // Gathers one plan entry from a contiguous channel line (moved verbatim
-// from the pre-refactor rt::TofPlan::apply; the encoding contract lives on
+// from the pre-refactor us::TofPlan::apply; the encoding contract lives on
 // TofGatherCmd).
 inline float gather(const float* line, std::int32_t idx, float frac,
-                    dsp::Interp interp) {
+                    Interp interp) {
   if (idx == TofGatherCmd::kOutOfRange) return 0.0f;
-  if (idx >= 0 && interp == dsp::Interp::kCubic) {
+  if (idx >= 0 && interp == Interp::kCubic) {
     const double u = frac;
     const double p0 = line[idx - 1], p1 = line[idx], p2 = line[idx + 1],
                  p3 = line[idx + 2];
@@ -109,7 +109,7 @@ void run(const TofGatherCmd& cmd) {
   TVBF_REQUIRE((cmd.lines_im != nullptr) == (cmd.out_im != nullptr),
                "tof gather imag planes must be both set or both null");
   const std::int64_t nx = cmd.nx, nch = cmd.nch, n = cmd.nsamples;
-  const dsp::Interp interp = cmd.interp;
+  const Interp interp = cmd.interp;
   parallel_for_each(0, static_cast<std::size_t>(cmd.nz), [&](std::size_t zi) {
     const auto iz = static_cast<std::int64_t>(zi);
     for (std::int64_t ix = 0; ix < nx; ++ix) {

@@ -98,7 +98,7 @@ std::int64_t command_macs(const Command& cmd) {
     }
     std::int64_t operator()(const TofGatherCmd& c) const {
       // Up to 4 taps (Catmull-Rom) per gathered sample, both planes.
-      const std::int64_t taps = c.interp == dsp::Interp::kCubic ? 4 : 2;
+      const std::int64_t taps = c.interp == Interp::kCubic ? 4 : 2;
       const std::int64_t planes = c.lines_im != nullptr ? 2 : 1;
       return c.nz * c.nx * c.nch * taps * planes;
     }

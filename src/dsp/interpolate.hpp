@@ -3,6 +3,8 @@
 
 #include <span>
 
+#include "common/interp.hpp"
+
 namespace tvbf::dsp {
 
 /// Linear interpolation of x at fractional index t; returns 0 outside
@@ -13,8 +15,9 @@ float interp_linear(std::span<const float> x, double t);
 /// out-of-range convention; falls back to linear near the edges.
 float interp_cubic(std::span<const float> x, double t);
 
-/// Interpolation flavors selectable in the ToF-correction stage.
-enum class Interp { kLinear, kCubic };
+/// Interpolation flavors selectable in the ToF-correction stage (defined
+/// in common/interp.hpp; aliased here for the dsp::Interp spelling).
+using Interp = ::tvbf::Interp;
 
 /// Dispatches on the chosen flavor.
 float interp(std::span<const float> x, double t, Interp kind);

@@ -1,7 +1,7 @@
 #include "models/dataset.hpp"
 
 #include "dsp/hilbert.hpp"
-#include "runtime/plan_cache.hpp"
+#include "us/plan_cache.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "us/tof.hpp"
 
@@ -16,7 +16,7 @@ TrainingFrame make_frame(const us::Probe& probe, const us::ImagingGrid& grid,
   // One cached ToF plan serves both cubes of this frame and — because
   // every frame of a training set shares (probe, grid, angle, RF length) —
   // the whole corpus; only the per-frame sampling work remains.
-  const auto plan = rt::PlanCache::instance().get_for(acq, grid);
+  const auto plan = us::PlanCache::instance().get_for(acq, grid);
 
   // Network input: RF-only ToF cube, normalized.
   us::TofCube rf_cube = plan->apply(acq, /*analytic=*/false);

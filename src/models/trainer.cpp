@@ -40,10 +40,13 @@ TrainReport train_model(
     }
     epoch_loss /= static_cast<double>(frames.size());
     report.epoch_loss.push_back(epoch_loss);
-    if (options.verbose && (epoch % 10 == 0 || epoch == options.epochs - 1))
-      std::printf("  epoch %4lld  loss %.6f  lr %.2e\n",
-                  static_cast<long long>(epoch), epoch_loss,
-                  schedule.at(step));
+    if (options.log && (epoch % 10 == 0 || epoch == options.epochs - 1)) {
+      char line[96];
+      std::snprintf(line, sizeof(line), "  epoch %4lld  loss %.6f  lr %.2e",
+                    static_cast<long long>(epoch), epoch_loss,
+                    schedule.at(step));
+      options.log(line);
+    }
   }
   report.final_loss = report.epoch_loss.back();
   return report;

@@ -23,8 +23,11 @@ struct TrainOptions {
   bool cyclic = true;
   /// Steps of the decay horizon; 0 derives it from epochs * frames.
   std::int64_t decay_steps = 0;
-  /// Print per-epoch loss to stdout.
-  bool verbose = false;
+  /// Progress sink: called with one formatted line per reported epoch
+  /// (every 10th and the last). Null trains silently — library code never
+  /// writes to stdout itself; callers that want console progress pass a
+  /// sink that prints (see examples/train_beamformer.cpp).
+  std::function<void(const std::string& line)> log;
 };
 
 /// Result of a training run.

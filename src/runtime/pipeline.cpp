@@ -14,7 +14,7 @@
 #include "device/device.hpp"
 #include "dsp/hilbert.hpp"
 #include "graph/executor.hpp"
-#include "runtime/plan_cache.hpp"
+#include "us/plan_cache.hpp"
 #include "telemetry/telemetry.hpp"
 #include "us/tof.hpp"
 
@@ -84,7 +84,7 @@ void FrameProcessor::prepare(const Frame& frame) {
     // One cached plan per steering angle; holding the shared_ptrs keeps the
     // stream's plans alive even if a larger working set evicts them.
     for (std::size_t i = 0; i < num_angles_; ++i)
-      plans_[i] = PlanCache::instance().get_for(
+      plans_[i] = us::PlanCache::instance().get_for(
           frame.acquisition(i), config_.grid, config_.tof.interp);
   }
   slots_.clear();
@@ -303,7 +303,7 @@ PipelineReport Pipeline::run(const Sink& sink) {
       process_frame(frame, sink, report);
   };
 
-  const auto cache_before = PlanCache::instance().stats();
+  const auto cache_before = us::PlanCache::instance().stats();
   source_->reset();
   Timer wall;
 
@@ -387,7 +387,7 @@ PipelineReport Pipeline::run(const Sink& sink) {
   }
 
   report.wall_s = wall.seconds();
-  const auto cache_after = PlanCache::instance().stats();
+  const auto cache_after = us::PlanCache::instance().stats();
   report.plan_cache_hits = cache_after.hits - cache_before.hits;
   report.plan_cache_misses = cache_after.misses - cache_before.misses;
   return report;

@@ -19,7 +19,7 @@
 #include "beamform/beamformer.hpp"
 #include "graph/arena.hpp"
 #include "runtime/frame_source.hpp"
-#include "runtime/tof_plan.hpp"
+#include "us/tof_plan.hpp"
 
 namespace tvbf::device {
 class Device;
@@ -191,8 +191,8 @@ class FrameProcessor {
   // arena); the beamformer/postprocess stages still return fresh
   // image-sized tensors per frame.
   std::size_t num_angles_ = 1;
-  std::vector<std::shared_ptr<const TofPlan>> plans_;
-  std::vector<ChannelWorkspace> workspaces_;
+  std::vector<std::shared_ptr<const us::TofPlan>> plans_;
+  std::vector<us::ChannelWorkspace> workspaces_;
   std::vector<us::TofCube> slots_;  ///< per-angle cubes (multi-angle only)
   graph::BufferArena arena_;
   std::vector<double> angle_tof_s_;

@@ -13,7 +13,7 @@
 #include "common/timer.hpp"
 #include "device/device.hpp"
 #include "graph/executor.hpp"
-#include "runtime/plan_cache.hpp"
+#include "us/plan_cache.hpp"
 
 #if defined(__GLIBC__)
 #include <malloc.h>
@@ -725,7 +725,7 @@ ServerReport Server::run() {
       break;
   }
 
-  const auto cache_before = rt::PlanCache::instance().stats();
+  const auto cache_before = us::PlanCache::instance().stats();
   Timer wall;
 
   im.start_sampler();
@@ -740,7 +740,7 @@ ServerReport Server::run() {
 
   ServerReport report;
   report.wall_s = wall_s;
-  const auto cache_after = rt::PlanCache::instance().stats();
+  const auto cache_after = us::PlanCache::instance().stats();
   report.plan_cache_hits = cache_after.hits - cache_before.hits;
   report.plan_cache_misses = cache_after.misses - cache_before.misses;
   report.batches = im.batcher.stats();

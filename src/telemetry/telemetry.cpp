@@ -81,11 +81,13 @@ void LatencyHistogram::record(double seconds) {
   sum_ns_.fetch_add(ns, std::memory_order_relaxed);
   std::int64_t cur = min_ns_.load(std::memory_order_relaxed);
   while (ns < cur &&
-         !min_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+         !min_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
   }
   cur = max_ns_.load(std::memory_order_relaxed);
   while (ns > cur &&
-         !max_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+         !max_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
   }
 }
 
@@ -180,13 +182,13 @@ struct Registry::Impl {
       histograms;
 };
 
-Registry::Registry() : impl_(new Impl) {}
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
 Registry::~Registry() = default;  // never runs: instance is leaked
 
 Registry& Registry::instance() {
   // Leaked on purpose: instrument references held by worker threads and
   // static objects must stay valid through process teardown.
-  static Registry* const reg = new Registry();
+  static Registry* const reg = new Registry();  // tvbf-check: allow(naked-new)
   return *reg;
 }
 

@@ -31,6 +31,7 @@
 #include <chrono>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -217,7 +218,8 @@ class Registry {
   Registry();
   ~Registry();
   struct Impl;
-  Impl* impl_;  ///< leaked on purpose: instruments outlive static teardown
+  /// Owned by the leaked singleton: instruments outlive static teardown.
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Human-readable table of a snapshot (counters, gauges, histogram

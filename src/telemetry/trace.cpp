@@ -11,7 +11,7 @@ namespace tvbf::telemetry {
 
 TraceBuffer::TraceBuffer(std::size_t capacity)
     : capacity_(std::max<std::size_t>(capacity, 1)),
-      events_(new Event[capacity_]) {}
+      events_(std::make_unique<Event[]>(capacity_)) {}
 
 void TraceBuffer::record(const char* name,
                          std::chrono::steady_clock::time_point begin,
@@ -124,7 +124,7 @@ void trace_start(std::size_t capacity) {
   if (buf == nullptr) {
     // Leaked on purpose: worker threads may hold the pointer past main's
     // static teardown.
-    buf = new TraceBuffer(capacity);
+    buf = new TraceBuffer(capacity);  // tvbf-check: allow(naked-new)
     g_trace_buffer.store(buf, std::memory_order_release);
   } else {
     buf->clear();

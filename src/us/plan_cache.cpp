@@ -1,4 +1,4 @@
-#include "runtime/plan_cache.hpp"
+#include "us/plan_cache.hpp"
 
 #include <condition_variable>
 #include <list>
@@ -9,7 +9,7 @@
 
 #include "telemetry/telemetry.hpp"
 
-namespace tvbf::rt {
+namespace tvbf::us {
 
 namespace {
 constexpr std::size_t kDefaultCapacityBytes = 768ull << 20;
@@ -226,4 +226,4 @@ void PlanCache::clear() {
   impl_->duplicate_builds = 0;
 }
 
-}  // namespace tvbf::rt
+}  // namespace tvbf::us

@@ -12,9 +12,9 @@
 #include <cstdint>
 #include <memory>
 
-#include "runtime/tof_plan.hpp"
+#include "us/tof_plan.hpp"
 
-namespace tvbf::rt {
+namespace tvbf::us {
 
 /// Global ToF-plan cache. All methods are thread-safe; a miss builds the
 /// plan outside the cache lock (hits on other keys are never stalled by a
@@ -77,4 +77,4 @@ class PlanCache {
   std::unique_ptr<Impl> impl_;
 };
 
-}  // namespace tvbf::rt
+}  // namespace tvbf::us

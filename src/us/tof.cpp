@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "runtime/tof_plan.hpp"
+#include "us/tof_plan.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace tvbf::us {
@@ -62,9 +62,9 @@ TofCube tof_correct(const Acquisition& acq, const ImagingGrid& grid,
   grid.validate();
   // One-shot path: build the geometric plan and apply it to this frame.
   // Streaming callers (runtime pipeline, compounding, dataset generation)
-  // fetch the same plan from rt::PlanCache instead and amortize the build
+  // fetch the same plan from us::PlanCache instead and amortize the build
   // across frames; results are identical either way.
-  const rt::TofPlan plan = rt::TofPlan::build_for(acq, grid, params.interp);
+  const us::TofPlan plan = us::TofPlan::build_for(acq, grid, params.interp);
   return plan.apply(acq, params.analytic);
 }
 

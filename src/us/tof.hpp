@@ -41,8 +41,8 @@ double two_way_delay(double x, double z, double xe, double sin_theta,
                      double cos_theta, double tx_offset, double sound_speed);
 
 /// Builds the ToF-corrected cube of `acq` over `grid`. Internally this
-/// builds a geometric rt::TofPlan and applies it to the frame; streaming
-/// callers should fetch the plan from rt::PlanCache once and apply it per
+/// builds a geometric us::TofPlan and applies it to the frame; streaming
+/// callers should fetch the plan from us::PlanCache once and apply it per
 /// frame instead of paying the geometry pass every call.
 TofCube tof_correct(const Acquisition& acq, const ImagingGrid& grid,
                     const TofParams& params = {});

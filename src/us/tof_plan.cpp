@@ -1,4 +1,4 @@
-#include "runtime/tof_plan.hpp"
+#include "us/tof_plan.hpp"
 
 #include <bit>
 #include <cmath>
@@ -9,7 +9,7 @@
 #include "device/device.hpp"
 #include "dsp/hilbert.hpp"
 
-namespace tvbf::rt {
+namespace tvbf::us {
 
 namespace {
 
@@ -224,4 +224,4 @@ us::TofCube TofPlan::apply(const us::Acquisition& acq, bool analytic) const {
   return cube;
 }
 
-}  // namespace tvbf::rt
+}  // namespace tvbf::us

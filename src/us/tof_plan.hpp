@@ -18,7 +18,7 @@
 #include "us/simulator.hpp"
 #include "us/tof.hpp"
 
-namespace tvbf::rt {
+namespace tvbf::us {
 
 namespace detail {
 /// Plan-entry sentinels shared by the encode (build) and gather (apply)
@@ -105,4 +105,4 @@ class TofPlan {
   std::vector<float> frac_;
 };
 
-}  // namespace tvbf::rt
+}  // namespace tvbf::us

@@ -1,0 +1,290 @@
+// Unit tests for tvbf-check (tools/check): one fixture snippet per rule,
+// the suppression/allowlist escape hatches, and a clean run over the real
+// checked-in tree (the same gate CI runs via the tvbf-check binary).
+#include "check/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using tvbf::check::check_file;
+using tvbf::check::check_tree;
+using tvbf::check::collect_atomic_names;
+using tvbf::check::Config;
+using tvbf::check::Finding;
+using tvbf::check::parse_config;
+
+Config test_config() {
+  return parse_config(
+      "[layers]\n"
+      "layer = common\n"
+      "layer = dsp io\n"
+      "layer = runtime\n"
+      "[atomics]\n"
+      "allow_implicit = tests/legacy_counters.cpp\n"
+      "[threads]\n"
+      "allow = src/runtime/pool.cpp\n");
+}
+
+/// Runs the checker on one snippet, collecting atomic names from the
+/// snippet itself first (as check_tree would).
+std::vector<Finding> run(const std::string& path, const std::string& code) {
+  std::set<std::string> atomics;
+  collect_atomic_names(code, atomics);
+  return check_file(test_config(), path, code, atomics);
+}
+
+bool has(const std::vector<Finding>& findings, const std::string& rule,
+         int line) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.rule == rule && f.line == line;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Config parsing
+
+TEST(CheckConfig, ParsesLayersAndAllowlists) {
+  const Config c = test_config();
+  ASSERT_EQ(c.layers.size(), 3u);
+  EXPECT_EQ(c.layers[1], (std::vector<std::string>{"dsp", "io"}));
+  ASSERT_EQ(c.atomics_allow_implicit.size(), 1u);
+  EXPECT_EQ(c.thread_allow[0], "src/runtime/pool.cpp");
+}
+
+TEST(CheckConfig, RejectsDuplicateModuleAndUnknownSection) {
+  EXPECT_THROW(parse_config("[layers]\nlayer = a\nlayer = a\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_config("[layers]\nlayer = a\n[bogus]\nx = y\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_config("# only comments\n"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Layering
+
+TEST(CheckLayering, FlagsBackEdgeWithFileAndLine) {
+  const auto f = run("src/common/util.cpp",
+                     "#include <vector>\n"
+                     "#include \"runtime/pipeline.hpp\"\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].file, "src/common/util.cpp");
+  EXPECT_EQ(f[0].line, 2);
+  EXPECT_EQ(f[0].rule, "layering");
+}
+
+TEST(CheckLayering, FlagsSameLayerCrossModuleInclude) {
+  const auto f = run("src/dsp/filter.cpp", "#include \"io/loader.hpp\"\n");
+  EXPECT_TRUE(has(f, "layering", 1));
+}
+
+TEST(CheckLayering, AllowsDownwardAndSameModuleIncludes) {
+  const auto f = run("src/runtime/pipeline.cpp",
+                     "#include \"runtime/pipeline.hpp\"\n"
+                     "#include \"dsp/filter.hpp\"\n"
+                     "#include \"common/error.hpp\"\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(CheckLayering, IgnoresCommentedOutIncludes) {
+  const auto f = run("src/common/util.cpp",
+                     "// #include \"runtime/pipeline.hpp\"\n"
+                     "/* #include \"runtime/pipeline.hpp\" */\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(CheckLayering, FlagsUnknownModule) {
+  const auto f = run("src/common/util.cpp", "#include \"mystery/x.hpp\"\n");
+  EXPECT_TRUE(has(f, "layering", 1));
+}
+
+// ---------------------------------------------------------------------------
+// Atomics discipline
+
+TEST(CheckAtomics, FlagsImplicitSeqCstLoadStore) {
+  const std::string code =
+      "#include <atomic>\n"
+      "std::atomic<int> flag{0};\n"
+      "int f() { flag.store(1); return flag.load(); }\n";
+  const auto f = run("src/common/flag.cpp", code);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].rule, "atomic-order");
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(CheckAtomics, AcceptsExplicitOrders) {
+  const std::string code =
+      "std::atomic<int> flag{0};\n"
+      "int f() {\n"
+      "  flag.store(1, std::memory_order_release);\n"
+      "  flag.fetch_add(1,\n"
+      "                 std::memory_order_relaxed);\n"
+      "  return flag.load(std::memory_order_acquire);\n"
+      "}\n";
+  EXPECT_TRUE(run("src/common/flag.cpp", code).empty());
+}
+
+TEST(CheckAtomics, CompareExchangeNeedsBothOrders) {
+  const std::string one_order =
+      "std::atomic<int> v{0};\n"
+      "bool f(int& e) {\n"
+      "  return v.compare_exchange_weak(e, 1, std::memory_order_acq_rel);\n"
+      "}\n";
+  EXPECT_TRUE(has(run("src/common/v.cpp", one_order), "atomic-order", 3));
+
+  const std::string both =
+      "std::atomic<int> v{0};\n"
+      "bool f(int& e) {\n"
+      "  return v.compare_exchange_strong(e, 1, std::memory_order_acq_rel,\n"
+      "                                   std::memory_order_acquire);\n"
+      "}\n";
+  EXPECT_TRUE(run("src/common/v.cpp", both).empty());
+}
+
+TEST(CheckAtomics, IgnoresNonAtomicReceivers) {
+  // `archive.load(...)` is a plain method named load; no atomic named
+  // `archive` is ever declared, so this must not be flagged.
+  const std::string code =
+      "struct Archive { int load(const char* p); };\n"
+      "int f(Archive& archive) { return archive.load(\"w.bin\"); }\n";
+  EXPECT_TRUE(run("src/common/a.cpp", code).empty());
+}
+
+TEST(CheckAtomics, AllowlistPermitsImplicitSeqCst) {
+  const std::string code =
+      "std::atomic<int> hits{0};\n"
+      "void f() { hits.fetch_add(1); }\n";
+  EXPECT_FALSE(run("tests/other.cpp", code).empty());
+  EXPECT_TRUE(run("tests/legacy_counters.cpp", code).empty());
+}
+
+TEST(CheckAtomics, NamesCollectedAcrossFiles) {
+  // Member declared in one file, poked from another — the shared name set
+  // carries the declaration across.
+  std::set<std::string> atomics;
+  collect_atomic_names("struct S { std::atomic<bool> done_{false}; };\n",
+                       atomics);
+  const auto f = check_file(test_config(), "src/common/user.cpp",
+                            "void f(S& s) { s.done_.store(true); }\n",
+                            atomics);
+  EXPECT_TRUE(has(f, "atomic-order", 1));
+}
+
+// ---------------------------------------------------------------------------
+// Hygiene: banned calls, naked new/delete, threads, pragma once, contracts
+
+TEST(CheckHygiene, FlagsBannedCallsButNotBoundedVariants) {
+  const std::string code =
+      "#include <cstdio>\n"
+      "void f(char* b) {\n"
+      "  printf(\"x\");\n"
+      "  std::snprintf(b, 4, \"y\");\n"
+      "  int sprintf_count = 0; (void)sprintf_count;\n"
+      "}\n";
+  const auto f = run("src/common/log.cpp", code);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_TRUE(has(f, "banned-call", 3));
+}
+
+TEST(CheckHygiene, FlagsNakedNewAndDeleteButNotDeletedFunctions) {
+  const std::string code =
+      "struct S {\n"
+      "  S(const S&) = delete;\n"
+      "  S& operator=(const S&) =\n"
+      "      delete;\n"
+      "};\n"
+      "void f() { int* p = new int(1); delete p; }\n";
+  const auto f = run("src/common/s.cpp", code);
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_TRUE(has(f, "naked-new", 6));
+  EXPECT_TRUE(has(f, "naked-delete", 6));
+}
+
+TEST(CheckHygiene, SuppressionCommentSilencesFinding) {
+  const std::string same_line =
+      "void f() {\n"
+      "  int* p = new int(1);  // tvbf-check: allow(naked-new) leaked: why\n"
+      "  (void)p;\n"
+      "}\n";
+  EXPECT_TRUE(run("src/common/s.cpp", same_line).empty());
+
+  const std::string line_above =
+      "void f() {\n"
+      "  // tvbf-check: allow(naked-new) leaked singleton\n"
+      "  int* p = new int(1);\n"
+      "  (void)p;\n"
+      "}\n";
+  EXPECT_TRUE(run("src/common/s.cpp", line_above).empty());
+
+  // A suppression for a DIFFERENT rule must not silence this one.
+  const std::string wrong_rule =
+      "void f() {\n"
+      "  int* p = new int(1);  // tvbf-check: allow(thread)\n"
+      "  (void)p;\n"
+      "}\n";
+  EXPECT_TRUE(has(run("src/common/s.cpp", wrong_rule), "naked-new", 2));
+}
+
+TEST(CheckHygiene, FlagsThreadOutsideAllowlistOnly) {
+  const std::string code =
+      "#include <thread>\n"
+      "void f() {\n"
+      "  unsigned n = std::thread::hardware_concurrency(); (void)n;\n"
+      "  std::thread t([] {}); t.join();\n"
+      "}\n";
+  const auto flagged = run("src/common/w.cpp", code);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_TRUE(has(flagged, "thread", 4));
+  EXPECT_TRUE(run("src/runtime/pool.cpp", code).empty());
+}
+
+TEST(CheckHygiene, FlagsHeaderMissingPragmaOnce) {
+  EXPECT_TRUE(has(run("src/common/h.hpp", "int x();\n"), "pragma-once", 1));
+  EXPECT_TRUE(run("src/common/h.hpp", "#pragma once\nint x();\n").empty());
+  // Source files need no pragma.
+  EXPECT_TRUE(run("src/common/h.cpp", "int x() { return 1; }\n").empty());
+}
+
+TEST(CheckContracts, FlagsSideEffectingRequire) {
+  const std::string bad =
+      "void f(int n) {\n"
+      "  TVBF_REQUIRE(n++ < 4, \"n\");\n"
+      "  TVBF_ENSURE(n = 3, \"typo'd comparison\");\n"
+      "}\n";
+  const auto f = run("src/common/c.cpp", bad);
+  EXPECT_TRUE(has(f, "require-side-effect", 2));
+  EXPECT_TRUE(has(f, "require-side-effect", 3));
+
+  const std::string good =
+      "void f(int n, int m) {\n"
+      "  TVBF_REQUIRE(n <= 4 && m >= 2, \"bounds\");\n"
+      "  TVBF_REQUIRE(n != m, \"distinct\");\n"
+      "  TVBF_ENSURE(check(n, m), \"pure call\");\n"
+      "}\n";
+  EXPECT_TRUE(run("src/common/c.cpp", good).empty());
+}
+
+// ---------------------------------------------------------------------------
+// The real tree
+
+TEST(CheckTree, CheckedInTreeIsClean) {
+  std::ifstream in(TVBF_CHECK_CONFIG);
+  ASSERT_TRUE(in) << "missing " << TVBF_CHECK_CONFIG;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const Config config = parse_config(buf.str());
+  const auto findings = check_tree(config, TVBF_SOURCE_DIR);
+  for (const auto& f : findings) {
+    ADD_FAILURE() << tvbf::check::format_finding(f);
+  }
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace

@@ -12,7 +12,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "device/accel_device.hpp"
+#include "accel/accel_device.hpp"
 #include "device/cpu_device.hpp"
 #include "device/device.hpp"
 #include "kernels/conv.hpp"
@@ -24,6 +24,8 @@
 
 namespace tvbf::device {
 namespace {
+
+using accel::AccelDevice;
 
 Tensor random_tensor(Shape shape, Rng& rng) {
   Tensor t(std::move(shape));

@@ -25,7 +25,7 @@
 #include "quant/quantized_tiny_vbf.hpp"
 #include "runtime/frame_source.hpp"
 #include "runtime/pipeline.hpp"
-#include "runtime/plan_cache.hpp"
+#include "us/plan_cache.hpp"
 #include "serve/server.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "us/phantom.hpp"
@@ -373,8 +373,8 @@ TEST(ArenaTest, DefaultBudgetLeavesSteadyStateReuseUntouched) {
 
 class GraphIdentityTest : public ::testing::Test {
  protected:
-  void SetUp() override { rt::PlanCache::instance().clear(); }
-  void TearDown() override { rt::PlanCache::instance().clear(); }
+  void SetUp() override { us::PlanCache::instance().clear(); }
+  void TearDown() override { us::PlanCache::instance().clear(); }
 
   /// Cine source; `angles > 1` yields compounded multi-angle frames.
   std::shared_ptr<rt::CineSource> cine(std::int64_t frames,

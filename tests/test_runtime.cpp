@@ -12,14 +12,18 @@
 #include "dsp/hilbert.hpp"
 #include "runtime/frame_source.hpp"
 #include "runtime/pipeline.hpp"
-#include "runtime/plan_cache.hpp"
-#include "runtime/tof_plan.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "us/phantom.hpp"
+#include "us/plan_cache.hpp"
 #include "us/tof.hpp"
+#include "us/tof_plan.hpp"
 
 namespace tvbf::rt {
 namespace {
+
+using us::ChannelWorkspace;
+using us::PlanCache;
+using us::TofPlan;
 
 class TofPlanTest : public ::testing::Test {
  protected:

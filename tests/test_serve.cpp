@@ -19,13 +19,13 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
-#include "device/accel_device.hpp"
+#include "accel/accel_device.hpp"
 #include "models/neural_beamformer.hpp"
 #include "models/tiny_vbf.hpp"
 #include "quant/quantized_tiny_vbf.hpp"
 #include "runtime/frame_source.hpp"
 #include "runtime/pipeline.hpp"
-#include "runtime/plan_cache.hpp"
+#include "us/plan_cache.hpp"
 #include "serve/async_sink.hpp"
 #include "serve/inference_batcher.hpp"
 #include "serve/server.hpp"
@@ -40,12 +40,12 @@ namespace {
 class ServeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    rt::PlanCache::instance().clear();
-    default_capacity_ = rt::PlanCache::instance().stats().capacity_bytes;
+    us::PlanCache::instance().clear();
+    default_capacity_ = us::PlanCache::instance().stats().capacity_bytes;
   }
   void TearDown() override {
-    rt::PlanCache::instance().set_capacity(default_capacity_);
-    rt::PlanCache::instance().clear();
+    us::PlanCache::instance().set_capacity(default_capacity_);
+    us::PlanCache::instance().clear();
   }
 
   std::shared_ptr<rt::CineSource> cine(std::int64_t frames,
@@ -414,7 +414,7 @@ TEST_F(ServeModelTest, AccelBackendPrefersDeeperBatchesWithIdenticalOutput) {
   std::vector<std::vector<Tensor>> on_cpu, on_accel;
   const ServerReport cpu_report = run_backend(nullptr, on_cpu);
   const ServerReport accel_report =
-      run_backend(std::make_shared<device::AccelDevice>(), on_accel);
+      run_backend(std::make_shared<accel::AccelDevice>(), on_accel);
 
   EXPECT_EQ(cpu_report.frames, kSessions * kFrames);
   EXPECT_EQ(accel_report.frames, kSessions * kFrames);
@@ -559,10 +559,10 @@ TEST_F(ServeTest, AsyncSinkFeedsFromPipeline) {
 // ---- PlanCache under contention --------------------------------------------
 
 TEST_F(ServeTest, PlanCacheSingleFlightCoalescesRacingMisses) {
-  auto& cache = rt::PlanCache::instance();
+  auto& cache = us::PlanCache::instance();
   constexpr int kThreads = 8;
   std::latch start(kThreads);
-  std::vector<std::shared_ptr<const rt::TofPlan>> plans(kThreads);
+  std::vector<std::shared_ptr<const us::TofPlan>> plans(kThreads);
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t)
@@ -583,7 +583,7 @@ TEST_F(ServeTest, PlanCacheSingleFlightCoalescesRacingMisses) {
 }
 
 TEST_F(ServeTest, PlanCacheEvictionUnderContention) {
-  auto& cache = rt::PlanCache::instance();
+  auto& cache = us::PlanCache::instance();
   // Six keys, capacity for about two plans: constant eviction pressure.
   std::vector<us::ImagingGrid> grids;
   for (int k = 0; k < 6; ++k)

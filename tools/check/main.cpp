@@ -1,0 +1,65 @@
+// tvbf-check CLI: scan a Tiny-VBF source tree and print findings.
+//
+// Usage: tvbf-check [--root DIR] [--config FILE]
+//
+// Exit codes: 0 = clean, 1 = findings, 2 = usage/config/IO error.
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/checker.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  std::string root = ".";
+  std::string config_path = "tools/check/tvbf-check.conf";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: tvbf-check [--root DIR] [--config FILE]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "tvbf-check: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::ifstream in(config_path);
+  if (!in) {
+    std::fprintf(stderr, "tvbf-check: cannot open config '%s'\n",
+                 config_path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  const tvbf::check::Config config = tvbf::check::parse_config(buf.str());
+  const auto findings = tvbf::check::check_tree(config, root);
+  for (const auto& f : findings) {
+    std::printf("%s\n", tvbf::check::format_finding(f).c_str());
+  }
+  if (findings.empty()) {
+    std::printf("tvbf-check: clean\n");
+    return 0;
+  }
+  std::printf("tvbf-check: %zu finding(s)\n", findings.size());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tvbf-check: %s\n", e.what());
+    return 2;
+  }
+}
