@@ -24,7 +24,10 @@
 // with instruments enabled vs disabled (enabled must stay >= 0.97x of
 // disabled on >= 4-core hosts), and the enabled run's registry yields
 // per-session frame-latency quantiles plus the device's measured-vs-
-// estimated latency error per command kind.
+// estimated latency error per command kind. Part 7 measures the full ops
+// plane the same way: frame-lineage trace capture armed, stall watchdog
+// polling and the localhost introspection endpoint bound, vs the part-6
+// enabled lane (>= 0.97x on >= 4-core hosts, bit-identical frames).
 //
 // Every part's scalar results are also written to
 // bench_out/BENCH_serve.json so the perf trajectory is tracked across PRs.
@@ -47,6 +50,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "models/neural_beamformer.hpp"
 #include "models/tiny_vbf.hpp"
 #include "runtime/pipeline.hpp"
@@ -263,9 +267,7 @@ int main(int argc, char** argv) {
   // round-robin a session parked behind the inference-batch quorum wastes
   // its scheduler turn; readiness scheduling lets any runnable stage of any
   // session fill that gap. Both lanes must produce identical frames.
-  auto run_mixed = [&](serve::Scheduling scheduling) {
-    serve::ServerConfig scfg;
-    scfg.scheduling = scheduling;
+  auto run_mixed = [&](const serve::ServerConfig& scfg) {
     serve::Server mixed(scfg);
     std::vector<Tensor> last(static_cast<std::size_t>(num_sessions));
     for (int s = 0; s < num_sessions; ++s) {
@@ -281,10 +283,15 @@ int main(int argc, char** argv) {
     const serve::ServerReport report = mixed.run();
     return std::make_pair(report, std::move(last));
   };
+  auto sched_cfg = [](serve::Scheduling scheduling) {
+    serve::ServerConfig scfg;
+    scfg.scheduling = scheduling;
+    return scfg;
+  };
   const auto [rr_report, rr_frames] =
-      run_mixed(serve::Scheduling::kRoundRobin);
+      run_mixed(sched_cfg(serve::Scheduling::kRoundRobin));
   const auto [graph_report, graph_frames] =
-      run_mixed(serve::Scheduling::kGraph);
+      run_mixed(sched_cfg(serve::Scheduling::kGraph));
   float sched_diff = 0.0f;
   for (std::size_t s = 0; s < rr_frames.size(); ++s) {
     const float d = max_abs_diff(rr_frames[s], graph_frames[s]);
@@ -364,12 +371,12 @@ int main(int argc, char** argv) {
   // before the enabled lane so its histograms hold exactly that run.
   telemetry::Registry::instance().reset();
   const auto [tel_on_report, tel_on_frames] =
-      run_mixed(serve::Scheduling::kGraph);
+      run_mixed(sched_cfg(serve::Scheduling::kGraph));
   const telemetry::Snapshot tel_snap =
       telemetry::Registry::instance().snapshot();
   telemetry::set_enabled(false);
   const auto [tel_off_report, tel_off_frames] =
-      run_mixed(serve::Scheduling::kGraph);
+      run_mixed(sched_cfg(serve::Scheduling::kGraph));
   telemetry::set_enabled(true);
   float tel_diff = 0.0f;
   for (std::size_t s = 0; s < tel_on_frames.size(); ++s) {
@@ -413,6 +420,40 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  // ---- part 7: ops-plane overhead on the mixed load ------------------------
+  // The same mixed load with the full ops plane live: frame-lineage trace
+  // capture armed, the stall watchdog polling, and the localhost
+  // introspection endpoint bound and scrape-ready. Observability that
+  // perturbs the server — in throughput or, worse, in output — is not
+  // deployable; the part-6 enabled lane is the baseline (telemetry on,
+  // ops plane off).
+  serve::ServerConfig ops_cfg = sched_cfg(serve::Scheduling::kGraph);
+  ops_cfg.ops_port = 0;            // ephemeral localhost endpoint
+  ops_cfg.watchdog_stall_s = 1.0;  // armed; a live run never trips it
+  telemetry::trace_start(1 << 16);
+  const auto [ops_report, ops_frames] = run_mixed(ops_cfg);
+  telemetry::trace_stop();
+  float ops_diff = 0.0f;
+  for (std::size_t s = 0; s < ops_frames.size(); ++s) {
+    const float d = max_abs_diff(ops_frames[s], tel_on_frames[s]);
+    if (d > ops_diff) ops_diff = d;
+  }
+  const double ops_ratio =
+      tel_on_report.aggregate_fps() > 0.0
+          ? ops_report.aggregate_fps() / tel_on_report.aggregate_fps()
+          : 0.0;
+  std::printf("ops-plane overhead on the mixed load (aggregate frames/s):\n");
+  std::printf("  ops plane off          %8.1f fps  (%.2f s)\n",
+              tel_on_report.aggregate_fps(), tel_on_report.wall_s);
+  std::printf("  ops plane on           %8.1f fps  (%.2f s)  -> %.3fx\n",
+              ops_report.aggregate_fps(), ops_report.wall_s, ops_ratio);
+  std::printf("  (trace armed, watchdog polling, endpoint bound; dropped "
+              "spans %lld)\n",
+              static_cast<long long>(telemetry::trace_dropped()));
+  std::printf("  ops max |diff|: %.3g dB -> %s\n\n",
+              static_cast<double>(ops_diff),
+              ops_diff == 0.0f ? "MATCH" : "MISMATCH");
+
   // ---- machine-readable results --------------------------------------------
   benchx::BenchJson json;
   json.add("das_serving", "sequential_fps", sequential_fps, "fps");
@@ -442,12 +483,17 @@ int main(int argc, char** argv) {
     json.add("telemetry", "frame_latency_p50", h->p50_s * 1e3, "ms");
     json.add("telemetry", "frame_latency_p99", h->p99_s * 1e3, "ms");
   }
+  json.add("ops_plane", "disabled_fps", tel_on_report.aggregate_fps(), "fps");
+  json.add("ops_plane", "enabled_fps", ops_report.aggregate_fps(), "fps");
+  json.add("ops_plane", "enabled_over_disabled", ops_ratio, "x");
+  json.add("ops_plane", "dropped_spans",
+           static_cast<double>(telemetry::trace_dropped()), "spans");
   json.write("BENCH_serve.json");
 
   // Gates. The concurrency ratio needs real cores; on single-core hosts the
   // server cannot beat sequential and the gate is informational only.
   bool ok = match && sched_diff == 0.0f && backend_diff == 0.0f &&
-            tel_diff == 0.0f;
+            tel_diff == 0.0f && ops_diff == 0.0f;
   if (accel_report.batches.preferred_batch <
       cpu_report.batches.preferred_batch) {
     // The dispatch overhead should never make shallower batching look
@@ -489,6 +535,19 @@ int main(int argc, char** argv) {
     std::printf("note: %zu pool thread(s) — telemetry overhead gate "
                 "informational (ratio %.3f; needs >= 4 cores)\n",
                 hardware_threads(), telemetry_ratio);
+  }
+  if (hardware_threads() >= 4) {
+    if (ops_ratio < 0.97) {
+      // Lineage tracing + watchdog + endpoint must be cheap enough to
+      // stay on wherever the server runs.
+      std::printf("WARNING: ops-plane overhead ratio %.3f below 0.97x\n",
+                  ops_ratio);
+      ok = false;
+    }
+  } else {
+    std::printf("note: %zu pool thread(s) — ops-plane overhead gate "
+                "informational (ratio %.3f; needs >= 4 cores)\n",
+                hardware_threads(), ops_ratio);
   }
   return ok ? 0 : 1;
 }

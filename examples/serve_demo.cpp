@@ -5,18 +5,25 @@
 //
 //   ./serve_demo [--frames N] [--angles N] [--out DIR] [--drop]
 //                [--no-batch] [--backend cpu|accel] [--metrics]
+//                [--ops-port P]
 //
 // The report prints one row per session (frames, drops, fps, stage means)
 // plus the batcher and plan-cache counters. --metrics additionally prints
 // the process telemetry table at exit and writes telemetry.json plus a
 // Chrome trace.json (load at chrome://tracing) into the output directory.
+// --ops-port starts the full ops plane for the run: a localhost
+// introspection endpoint (/metrics, /healthz, /sessions, /dump; 0 picks an
+// ephemeral port, printed at startup), the stall watchdog, and a crash
+// hook + end-of-run flight-recorder dump (flight.json in the output dir).
 // The Tiny-VBF model is randomly initialized — this demo exercises the
 // serving machinery, not image quality (train_beamformer covers training).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "beamform/compounding.hpp"
@@ -26,6 +33,7 @@
 #include "io/writers.hpp"
 #include "models/neural_beamformer.hpp"
 #include "models/tiny_vbf.hpp"
+#include "obs/flight_recorder.hpp"
 #include "serve/async_sink.hpp"
 #include "serve/server.hpp"
 #include "telemetry/telemetry.hpp"
@@ -37,7 +45,8 @@ namespace {
 void print_usage(const char* argv0) {
   std::printf(
       "usage: %s [--frames N] [--angles N] [--out DIR] [--drop]\n"
-      "       [--no-batch] [--backend cpu|accel] [--help]\n"
+      "       [--no-batch] [--backend cpu|accel] [--metrics]\n"
+      "       [--ops-port P] [--help]\n"
       "  --frames N  cine frames per session (default 8)\n"
       "  --angles N  steered plane waves compounded per frame (default 1;\n"
       "              N > 1 adds parallel ToF graph nodes per session)\n"
@@ -49,6 +58,11 @@ void print_usage(const char* argv0) {
       "              estimates drive the batcher's quorum sizing)\n"
       "  --metrics   print the telemetry table at exit and write\n"
       "              telemetry.json + Chrome trace.json into the output dir\n"
+      "  --ops-port P\n"
+      "              serve the ops plane on 127.0.0.1:P for the run\n"
+      "              (0 = ephemeral, printed at startup): /metrics,\n"
+      "              /healthz, /sessions, /dump; plus the stall watchdog\n"
+      "              and a flight-recorder dump (flight.json) at exit\n"
       "  --help      show this message\n",
       argv0);
 }
@@ -64,6 +78,7 @@ int main(int argc, char** argv) {
   bool drop = false;
   bool batch = true;
   bool metrics = false;
+  int ops_port = -1;
   std::string backend = "cpu";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
@@ -90,6 +105,13 @@ int main(int argc, char** argv) {
       batch = false;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strcmp(argv[i], "--ops-port") == 0 && i + 1 < argc) {
+      ops_port = std::atoi(argv[++i]);
+      if (ops_port < 0 || ops_port > 65535) {
+        std::fprintf(stderr, "%s: --ops-port needs a port in [0, 65535]\n",
+                     argv[0]);
+        return 1;
+      }
     } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       backend = argv[++i];
       if (backend != "cpu" && backend != "accel") {
@@ -168,6 +190,13 @@ int main(int argc, char** argv) {
   server_cfg.backpressure =
       drop ? serve::Backpressure::kDropOldest : serve::Backpressure::kBlock;
   server_cfg.batch_inference = batch;
+  const std::string flight_path = out_dir + "/flight.json";
+  if (ops_port >= 0) {
+    server_cfg.ops_port = ops_port;
+    server_cfg.watchdog_stall_s = 5.0;
+    server_cfg.watchdog_dump_path = flight_path;
+    obs::install_crash_dump(flight_path);
+  }
   serve::Server server(server_cfg);
 
   // One async writer per session: PGM output never blocks the schedulers.
@@ -202,8 +231,25 @@ int main(int argc, char** argv) {
     telemetry::Registry::instance().reset();
     telemetry::trace_start();
   }
+  // The endpoint binds inside run() (ephemeral when --ops-port 0), so a
+  // short-lived reporter polls for the bound port and prints it.
+  std::thread port_reporter;
+  if (ops_port >= 0) {
+    port_reporter = std::thread([&server] {
+      for (int i = 0; i < 200; ++i) {
+        if (const int port = server.ops_port(); port >= 0) {
+          std::printf("ops endpoint live: curl http://127.0.0.1:%d/metrics "
+                      "(/healthz /sessions /dump)\n", port);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      std::printf("ops endpoint did not come up (bind failed?)\n");
+    });
+  }
   const serve::ServerReport report = server.run();
   for (auto& sink : sinks) sink->close();
+  if (port_reporter.joinable()) port_reporter.join();
   if (metrics) telemetry::trace_stop();
 
   std::printf("\n%lld frames in %.2f s -> %.1f frames/s aggregate "
@@ -243,5 +289,10 @@ int main(int argc, char** argv) {
       std::printf(" (%lld spans dropped)", static_cast<long long>(lost));
     std::printf("\n");
   }
+  if (ops_port >= 0 && obs::write_flight_dump(flight_path))
+    std::printf("wrote %s (flight-recorder dump, %lld events recorded)\n",
+                flight_path.c_str(),
+                static_cast<long long>(
+                    obs::FlightRecorder::instance().total_recorded()));
   return 0;
 }

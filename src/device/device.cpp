@@ -5,6 +5,7 @@
 #include <string>
 
 #include "device/cpu_device.hpp"
+#include "obs/flight_recorder.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace tvbf::device {
@@ -63,6 +64,16 @@ void Device::submit(const CommandList& list) {
         static_cast<std::int64_t>(std::llround(measured_s * 1e9)));
     si.estimated_ns[kind]->add(
         static_cast<std::int64_t>(std::llround(estimated_s * 1e9)));
+    // A submit far over its cost-model estimate is a calibration outlier
+    // worth a post-mortem breadcrumb; the 50 µs floor keeps scheduler
+    // noise on micro-submits out of the ring.
+    if (measured_s > 2.0 * estimated_s && measured_s > 50e-6) {
+      obs::FlightRecorder::instance().record(
+          obs::EventKind::kDeviceOverEstimate, -1,
+          static_cast<std::int64_t>(std::llround(measured_s * 1e9)),
+          static_cast<std::int64_t>(std::llround(estimated_s * 1e9)),
+          command_kind_name(kind));
+    }
   } else {
     execute(list);
   }

@@ -11,7 +11,9 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/service_state.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace tvbf::graph {
 
@@ -21,6 +23,7 @@ struct Executor::Impl {
   struct Run {
     const FrameGraph* g = nullptr;
     Completion done;
+    std::uint64_t flow = 0;            // frame lineage id (0 = untraced)
     std::vector<std::size_t> pending;  // unmet dependency count per node
     std::size_t remaining = 0;         // nodes not yet completed
     std::size_t running = 0;           // node bodies currently executing
@@ -89,8 +92,13 @@ struct Executor::Impl {
       std::exception_ptr error;
       t_nodes.add();
       try {
+        // Flow before span: the span's trace event (recorded at span
+        // destruction) must see the run's ambient lineage id.
+        telemetry::ScopedFlow flow(run->flow);
         telemetry::ScopedSpan span(&t_node_s,
                                    run->g->nodes_[id].name.c_str());
+        obs::ServiceState::instance().thread_note(
+            run->g->nodes_[id].name.c_str());
         status = run->g->nodes_[id].fn();
       } catch (...) {
         error = std::current_exception();
@@ -165,11 +173,13 @@ Executor::Executor(const Options& options)
 
 Executor::~Executor() { stop(); }
 
-void Executor::launch(const FrameGraph& g, Completion done) {
+void Executor::launch(const FrameGraph& g, Completion done,
+                      std::uint64_t flow) {
   TVBF_REQUIRE(!g.empty(), "cannot launch an empty frame graph");
   auto run = std::make_shared<Impl::Run>();
   run->g = &g;
   run->done = std::move(done);
+  run->flow = flow;
   run->remaining = g.size();
   run->pending.resize(g.size());
   {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -56,7 +57,10 @@ class Executor {
   /// `done` fires after every node has completed (or the launch failed).
   /// The graph object and all storage its node bodies capture must stay
   /// alive until `done` fires. Throws if `g` is empty or already in flight.
-  void launch(const FrameGraph& g, Completion done);
+  /// A non-zero `flow` is installed as the ambient trace flow id around
+  /// every node body, so the launch's spans chain into that frame's
+  /// lineage (see telemetry::ScopedFlow).
+  void launch(const FrameGraph& g, Completion done, std::uint64_t flow = 0);
 
   /// Completes a node that returned Status::kDeferred, making its
   /// successors eligible. Safe from any thread, including node bodies of

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "telemetry/trace.hpp"
 
 namespace tvbf::rt {
 
@@ -43,6 +44,7 @@ bool ReplaySource::next(Frame& frame) {
       produced_ % static_cast<std::int64_t>(num_groups));
   frame.index = produced_;
   frame.time_s = static_cast<double>(produced_) * frame_interval_s_;
+  frame.trace_id = telemetry::next_flow_id();
   frame.acq = acquisitions_[group * angles_per_frame_];
   frame.extra.assign(
       acquisitions_.begin() +
@@ -102,6 +104,7 @@ bool CineSource::next(Frame& frame) {
                                                     produced_ + 1);
   frame.index = produced_;
   frame.time_s = t;
+  frame.trace_id = telemetry::next_flow_id();
   frame.extra.clear();
   if (params_.compound_angles_rad.empty()) {
     frame.acq = us::simulate_plane_wave(probe_, phantom_at(t),

@@ -24,6 +24,10 @@ namespace tvbf::rt {
 struct Frame {
   std::int64_t index = 0;  ///< 0-based position in the stream
   double time_s = 0.0;     ///< acquisition timestamp within the cine
+  /// Lineage id minted by the source (telemetry::next_flow_id); every
+  /// trace span recorded while this frame is processed carries it, so the
+  /// exported trace chains the frame's stages across threads. 0 = untraced.
+  std::uint64_t trace_id = 0;
   us::Acquisition acq;     ///< first (or only) steered transmit
   /// Additional steered transmits of the same event (compounding).
   std::vector<us::Acquisition> extra;

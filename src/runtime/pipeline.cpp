@@ -159,7 +159,8 @@ FrameOutput FrameProcessor::finish(const Frame& frame) {
   if (times_.compound_s > 0.0) si.compound.record(times_.compound_s);
   if (times_.beamform_s > 0.0) si.beamform.record(times_.beamform_s);
   if (times_.post_s > 0.0) si.post.record(times_.post_s);
-  return FrameOutput{frame.index, frame.time_s, iq_, envelope_, db_};
+  return FrameOutput{frame.index, frame.time_s, iq_, envelope_, db_,
+                     frame.trace_id};
 }
 
 FrameOutput FrameProcessor::finish(const Frame& frame, Tensor iq) {
@@ -256,12 +257,15 @@ void Pipeline::process_frame_graph(Frame& frame, const Sink& sink,
   std::condition_variable cv;
   bool done = false;
   std::exception_ptr error;
-  executor_->launch(*graph_, [&](std::exception_ptr e) {
-    const std::lock_guard<std::mutex> lock(mu);
-    error = e;
-    done = true;
-    cv.notify_all();
-  });
+  executor_->launch(
+      *graph_,
+      [&](std::exception_ptr e) {
+        const std::lock_guard<std::mutex> lock(mu);
+        error = e;
+        done = true;
+        cv.notify_all();
+      },
+      frame.trace_id);
   {
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [&] { return done; });

@@ -102,6 +102,9 @@ struct FrameOutput {
   const Tensor& iq;        ///< (nz, nx, 2) beamformed IQ
   const Tensor& envelope;  ///< (nz, nx)
   const Tensor& db;        ///< (nz, nx) log-compressed B-mode
+  /// The source frame's lineage id (Frame::trace_id), carried through so
+  /// downstream consumers (the async sink) chain their spans to it.
+  std::uint64_t trace_id = 0;
 };
 
 /// Reusable per-frame processing state for one stream: the cached per-angle

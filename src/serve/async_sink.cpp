@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace tvbf::serve {
 
@@ -42,6 +43,8 @@ struct AsyncSink::Impl {
       try {
         static telemetry::LatencyHistogram& write_hist =
             telemetry::Registry::instance().histogram("sink.write_s");
+        // The write span is the tail of the frame's lineage chain.
+        telemetry::ScopedFlow flow(frame.trace_id);
         telemetry::ScopedSpan span(&write_hist, "sink.write");
         write(frame);
       } catch (...) {
@@ -82,7 +85,8 @@ AsyncSink::~AsyncSink() {
 
 void AsyncSink::push(const rt::FrameOutput& frame) {
   Timer t;
-  SinkFrame copy{frame.index, frame.time_s, frame.db};  // deep copy
+  SinkFrame copy{frame.index, frame.time_s, frame.trace_id,
+                 frame.db};  // deep copy
   const double copy_s = t.seconds();
 
   std::unique_lock<std::mutex> lock(impl_->mu);

@@ -24,6 +24,7 @@ namespace tvbf::serve {
 struct SinkFrame {
   std::int64_t index = 0;
   double time_s = 0.0;
+  std::uint64_t trace_id = 0;  ///< frame lineage (rt::FrameOutput::trace_id)
   Tensor db;  ///< (nz, nx) log-compressed B-mode
 };
 

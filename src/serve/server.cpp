@@ -1,6 +1,8 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -13,6 +15,10 @@
 #include "common/timer.hpp"
 #include "device/device.hpp"
 #include "graph/executor.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/ops_server.hpp"
+#include "obs/service_state.hpp"
+#include "telemetry/trace.hpp"
 #include "us/plan_cache.hpp"
 
 #if defined(__GLIBC__)
@@ -48,6 +54,10 @@ struct Server::Impl {
   std::size_t batched_cursor = 0;
   bool serialize_frames = true;  // resolved from config.frame_parallelism
   bool graph_mode = true;        // resolved from config.scheduling
+  // Ops plane: true while run() feeds obs::ServiceState (endpoint or
+  // watchdog configured); ops_port_live publishes the bound port.
+  bool ops_active = false;
+  std::atomic<int> ops_port_live{-1};
 
   // ---- graph scheduling ----------------------------------------------------
   /// One per distinct BatchedBeamformer shared by batched sessions: the
@@ -151,10 +161,16 @@ struct Server::Impl {
       s.config().source->reset();
       while (true) {
         rt::Frame frame;
-        Timer t;
+        const auto acq0 = std::chrono::steady_clock::now();
         const bool have = s.config().source->next(frame);
         if (!have) break;
-        s.source_stats.record(t.seconds());
+        const auto acq1 = std::chrono::steady_clock::now();
+        s.source_stats.record(
+            std::chrono::duration<double>(acq1 - acq0).count());
+        // Head of the frame's lineage chain: the acquisition span carries
+        // the trace id the source just minted.
+        telemetry::trace_record_flow("serve.acquire", acq0, acq1,
+                                     frame.trace_id);
         std::unique_lock<std::mutex> lock(mu);
         if (stop) break;
         if (s.ready.size() >= config.max_in_flight) {
@@ -168,6 +184,11 @@ struct Server::Impl {
             ++s.dropped;
             t_dropped.add();
             t_in_flight.sub();
+            obs::FlightRecorder::instance().record(
+                obs::EventKind::kFrameDrop, s.id(), s.dropped,
+                static_cast<std::int64_t>(s.ready.size()));
+            if (ops_active)
+              obs::ServiceState::instance().frame_dropped(s.id());
           }
         }
         s.ready.push_back(std::move(frame));
@@ -264,9 +285,10 @@ struct Server::Impl {
       build_graph(s, angles);
       s.graph_angles = angles;
     }
-    executor->launch(s.graph, [this, &s](std::exception_ptr error) {
-      on_frame_done(s, error);
-    });
+    executor->launch(
+        s.graph,
+        [this, &s](std::exception_ptr error) { on_frame_done(s, error); },
+        s.frame.trace_id);
   }
 
   /// Marks the session retired exactly once; returns its model when the
@@ -274,6 +296,9 @@ struct Server::Impl {
   const bf::BatchedBeamformer* check_retired_locked(Session& s) {
     if (!graph_mode || s.retired || !s.done()) return nullptr;
     s.retired = true;
+    obs::FlightRecorder::instance().record(obs::EventKind::kSessionRetire,
+                                           s.id(), s.frames, s.dropped);
+    if (ops_active) obs::ServiceState::instance().retire(s.id());
     return s.batched();
   }
 
@@ -295,6 +320,8 @@ struct Server::Impl {
                 .count();
         s.frame_latency.record(frame_s);
         t_frame_s.record(frame_s);
+        if (ops_active)
+          obs::ServiceState::instance().heartbeat(s.id(), frame_s);
         const auto& t = s.processor().last_times();
         s.tof_stats.record(t.tof_s);
         s.compound_stats.record(t.compound_s);
@@ -345,9 +372,23 @@ struct Server::Impl {
     const std::size_t quorum = quorum_of(d, s);
     if (d.parked.size() < quorum) {
       t_gate_parked.add();
+      obs::FlightRecorder::instance().record(
+          obs::EventKind::kGateParked, s.id(),
+          static_cast<std::int64_t>(d.parked.size()),
+          static_cast<std::int64_t>(quorum));
+      if (ops_active)
+        obs::ServiceState::instance().gate_update(
+            &d, s.config().beamformer->name(), d.parked.size(), quorum);
       return graph::Status::kDeferred;
     }
     t_gate_quorum.add();
+    obs::FlightRecorder::instance().record(
+        obs::EventKind::kGateQuorumFired, s.id(),
+        static_cast<std::int64_t>(d.parked.size()),
+        static_cast<std::int64_t>(quorum));
+    if (ops_active)
+      obs::ServiceState::instance().gate_update(
+          &d, s.config().beamformer->name(), 0, quorum);
     std::vector<Session*> group = std::move(d.parked);
     d.parked.clear();
     lock.unlock();
@@ -365,6 +406,7 @@ struct Server::Impl {
       for (std::size_t i = 0; i < group.size(); ++i)
         cubes[i] = &group[i]->processor().cube();
       const bf::BatchedBeamformer* model = group.front()->batched();
+      const auto fwd0 = std::chrono::steady_clock::now();
       Timer fwd;
       std::vector<Tensor> iqs;
       {
@@ -388,11 +430,16 @@ struct Server::Impl {
         }
         set_job_tag(prev);
       }
+      const auto fwd1 = std::chrono::steady_clock::now();
       const double each =
           fwd.seconds() / static_cast<double>(group.size());
       for (std::size_t i = 0; i < group.size(); ++i) {
         group[i]->batched_iq = std::move(iqs[i]);
         group[i]->forward_each_s = each;
+        // The stacked pass serves every member frame at once: record one
+        // span per member so each frame's lineage chain passes through it.
+        telemetry::trace_record_flow("serve.batch.forward", fwd0, fwd1,
+                                     group[i]->frame.trace_id);
       }
       // batched_iq is written above, before resolve: the member's deliver
       // node only becomes runnable through resolve(), which orders the
@@ -416,6 +463,12 @@ struct Server::Impl {
     for (auto& d : domains) {
       if (d.parked.empty()) continue;
       t_gate_idle_flush.add();
+      obs::FlightRecorder::instance().record(
+          obs::EventKind::kGateIdleFlush, d.parked.front()->id(),
+          static_cast<std::int64_t>(d.parked.size()));
+      if (ops_active)
+        obs::ServiceState::instance().gate_update(
+            &d, d.parked.front()->config().beamformer->name(), 0, 0);
       std::vector<Session*> group = std::move(d.parked);
       d.parked.clear();
       lock.unlock();
@@ -435,6 +488,13 @@ struct Server::Impl {
     const std::size_t quorum = quorum_of(d, *d.parked.front());
     if (d.parked.size() < quorum) return;
     t_gate_retire_flush.add();
+    obs::FlightRecorder::instance().record(
+        obs::EventKind::kGateRetireFlush, d.parked.front()->id(),
+        static_cast<std::int64_t>(d.parked.size()),
+        static_cast<std::int64_t>(quorum));
+    if (ops_active)
+      obs::ServiceState::instance().gate_update(
+          &d, d.parked.front()->config().beamformer->name(), 0, quorum);
     std::vector<Session*> group = std::move(d.parked);
     d.parked.clear();
     lock.unlock();
@@ -545,6 +605,8 @@ struct Server::Impl {
       t_frame_s.record(frame_s);
       t_frames.add();
       t_in_flight.sub();
+      if (ops_active)
+        obs::ServiceState::instance().heartbeat(s->id(), frame_s);
       {
         const std::lock_guard<std::mutex> lock(mu);
         s->busy = false;
@@ -637,6 +699,8 @@ struct Server::Impl {
         t_frame_s.record(frame_s);
         t_frames.add();
         t_in_flight.sub();
+        if (ops_active)
+          obs::ServiceState::instance().heartbeat(s->id(), frame_s);
       }
       {
         const std::lock_guard<std::mutex> lock(mu);
@@ -693,6 +757,10 @@ int Server::add_session(SessionConfig config) {
 
 std::size_t Server::num_sessions() const { return impl_->sessions.size(); }
 
+int Server::ops_port() const {
+  return impl_->ops_port_live.load(std::memory_order_acquire);
+}
+
 const ServerConfig& Server::config() const { return impl_->config; }
 
 ServerReport Server::run() {
@@ -725,6 +793,44 @@ ServerReport Server::run() {
       break;
   }
 
+  // ---- ops plane -----------------------------------------------------------
+  // ServiceState is fed only while an ops consumer (endpoint or watchdog)
+  // is configured; flight-recorder events are always on (gated internally
+  // on telemetry::enabled like every instrument).
+  im.ops_active =
+      im.config.ops_port >= 0 || im.config.watchdog_stall_s > 0.0;
+  if (im.ops_active) {
+    auto& state = obs::ServiceState::instance();
+    state.reset();
+    for (const auto& s : im.sessions)
+      state.admit(s->id(), s->config().source->name(),
+                  s->config().beamformer->name(), s->config().slo_frame_s,
+                  s->config().drop_budget);
+  }
+  for (const auto& s : im.sessions)
+    obs::FlightRecorder::instance().record(
+        obs::EventKind::kSessionAdmit, s->id(),
+        s->config().source->num_frames(), 0,
+        s->config().beamformer->name().c_str());
+  std::unique_ptr<obs::OpsServer> ops;
+  if (im.config.ops_port >= 0) {
+    ops = std::make_unique<obs::OpsServer>(
+        obs::OpsServer::Options{im.config.ops_port});
+    if (ops->start())
+      im.ops_port_live.store(ops->port(), std::memory_order_release);
+  }
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (im.config.watchdog_stall_s > 0.0) {
+    obs::Watchdog::Options wopts;
+    wopts.period_s = im.config.watchdog_period_s;
+    wopts.stall_s = im.config.watchdog_stall_s;
+    wopts.dump_path = im.config.watchdog_dump_path;
+    wopts.pending_override = im.config.watchdog_pending_override;
+    wopts.on_trip = im.config.watchdog_on_trip;
+    watchdog = std::make_unique<obs::Watchdog>(std::move(wopts));
+    watchdog->start();
+  }
+
   const auto cache_before = us::PlanCache::instance().stats();
   Timer wall;
 
@@ -736,6 +842,11 @@ ServerReport Server::run() {
 
   const double wall_s = wall.seconds();
   im.stop_sampler();
+  if (watchdog) watchdog->stop();
+  if (ops) {
+    ops->stop();
+    im.ops_port_live.store(-1, std::memory_order_release);
+  }
   if (im.first_error) std::rethrow_exception(im.first_error);
 
   ServerReport report;

@@ -44,8 +44,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "obs/watchdog.hpp"
 #include "serve/inference_batcher.hpp"
 #include "serve/session.hpp"
 #include "telemetry/telemetry.hpp"
@@ -91,6 +93,22 @@ struct ServerConfig {
   /// runs on the sampler thread; keep it cheap and non-blocking.
   double telemetry_period_s = 0.0;
   std::function<void(const telemetry::Snapshot&)> telemetry_sink = {};
+
+  // ---- ops plane -----------------------------------------------------------
+  /// Localhost introspection endpoint (obs::OpsServer: /metrics, /healthz,
+  /// /sessions, /dump) served for the duration of run(). -1 = off;
+  /// 0 = ephemeral port, readable via Server::ops_port() while running.
+  int ops_port = -1;
+  /// Stall watchdog: trips after this many seconds of pending work with no
+  /// progress (see obs::Watchdog). <= 0 = off.
+  double watchdog_stall_s = 0.0;
+  double watchdog_period_s = 0.25;  ///< watchdog poll interval
+  /// Written on every watchdog trip (flight-recorder dump + trace export).
+  std::string watchdog_dump_path;
+  /// Test-only fault injection and trip callback, forwarded verbatim to
+  /// obs::Watchdog::Options.
+  std::function<bool()> watchdog_pending_override;
+  std::function<void(const obs::StallReport&)> watchdog_on_trip;
 };
 
 /// What one Server::run did.
@@ -133,6 +151,11 @@ class Server {
   /// Single-shot: a Server instance runs once. The first exception from
   /// any source, stage or sink stops all sessions and propagates.
   ServerReport run();
+
+  /// Port the ops endpoint is bound to while run() is live (the ephemeral
+  /// pick when ServerConfig::ops_port == 0); -1 when the endpoint is off,
+  /// failed to bind, or the run has finished.
+  int ops_port() const;
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;

@@ -41,6 +41,13 @@ struct SessionConfig {
   /// time). The FrameOutput references session-owned buffers overwritten
   /// by the session's next frame.
   rt::Pipeline::Sink sink;
+  /// Per-frame latency SLO for the ops plane's /healthz: frames slower
+  /// than this count as deadline misses and any miss marks the session
+  /// unhealthy. <= 0 = no latency SLO.
+  double slo_frame_s = 0.0;
+  /// Drop budget for /healthz: more dropped frames than this marks the
+  /// session unhealthy. < 0 = no drop SLO.
+  std::int64_t drop_budget = -1;
 };
 
 /// Per-session half of the server report.

@@ -227,9 +227,20 @@ LatencyHistogram& Registry::histogram(std::string_view name) {
 Snapshot Registry::snapshot() const {
   Snapshot s;
   std::lock_guard<std::mutex> lock(impl_->mu);
-  s.counters.reserve(impl_->counters.size());
+  s.counters.reserve(impl_->counters.size() + 1);
   for (const auto& [name, c] : impl_->counters)
     s.counters.push_back({name, c->value()});
+  // The trace buffer's drop count rides along as a synthetic counter so
+  // --metrics tables and /metrics surface truncated traces instead of
+  // silently losing spans. Inserted in place to keep the sorted order.
+  const Snapshot::Value trace_drops{"telemetry.trace.dropped_spans",
+                                    trace_dropped()};
+  s.counters.insert(
+      std::lower_bound(s.counters.begin(), s.counters.end(), trace_drops,
+                       [](const Snapshot::Value& a, const Snapshot::Value& b) {
+                         return a.name < b.name;
+                       }),
+      trace_drops);
   s.gauges.reserve(impl_->gauges.size());
   for (const auto& [name, g] : impl_->gauges)
     s.gauges.push_back({name, g->value()});

@@ -30,7 +30,10 @@ Config test_config() {
       "[atomics]\n"
       "allow_implicit = tests/legacy_counters.cpp\n"
       "[threads]\n"
-      "allow = src/runtime/pool.cpp\n");
+      "allow = src/runtime/pool.cpp\n"
+      "[instruments]\n"
+      "prefix = serve.\n"
+      "prefix = graph.\n");
 }
 
 /// Runs the checker on one snippet, collecting atomic names from the
@@ -57,6 +60,8 @@ TEST(CheckConfig, ParsesLayersAndAllowlists) {
   EXPECT_EQ(c.layers[1], (std::vector<std::string>{"dsp", "io"}));
   ASSERT_EQ(c.atomics_allow_implicit.size(), 1u);
   EXPECT_EQ(c.thread_allow[0], "src/runtime/pool.cpp");
+  ASSERT_EQ(c.instrument_prefixes.size(), 2u);
+  EXPECT_EQ(c.instrument_prefixes[0], "serve.");
 }
 
 TEST(CheckConfig, RejectsDuplicateModuleAndUnknownSection) {
@@ -269,6 +274,56 @@ TEST(CheckContracts, FlagsSideEffectingRequire) {
       "  TVBF_ENSURE(check(n, m), \"pure call\");\n"
       "}\n";
   EXPECT_TRUE(run("src/common/c.cpp", good).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Instrument naming
+
+TEST(CheckInstruments, FlagsBadCharsetAndMissingPrefix) {
+  const std::string bad =
+      "void f(Registry& reg) {\n"
+      "  reg.counter(\"Serve.Frames\");\n"          // uppercase
+      "  reg.gauge(\"serve queue depth\");\n"       // spaces
+      "  reg.histogram(\"latency_s\");\n"           // no namespace prefix
+      "  reg.counter(\"serve.frames.\");\n"         // trailing dot
+      "}\n";
+  const auto f = run("src/runtime/r.cpp", bad);
+  EXPECT_TRUE(has(f, "instrument-name", 2));
+  EXPECT_TRUE(has(f, "instrument-name", 3));
+  EXPECT_TRUE(has(f, "instrument-name", 4));
+  EXPECT_TRUE(has(f, "instrument-name", 5));
+}
+
+TEST(CheckInstruments, AcceptsPrefixedNamesAndComposedFragments) {
+  const std::string good =
+      "void f(Registry& reg, const std::string& id) {\n"
+      "  reg.counter(\"serve.frames\");\n"
+      "  reg.gauge(\"graph.ready_queue\");\n"
+      // A fragment composed with + is charset-checked only, so the
+      // trailing dot is fine...
+      "  reg.histogram(\"serve.session.\" + id);\n"
+      // ...and a non-literal first argument is skipped entirely.
+      "  reg.counter(id);\n"
+      "}\n";
+  EXPECT_TRUE(run("src/runtime/r.cpp", good).empty());
+
+  // A composed fragment still fails the charset check.
+  const auto f = run("src/runtime/r.cpp",
+                     "void f(Registry& reg, const std::string& id) {\n"
+                     "  reg.counter(\"Serve Session \" + id);\n"
+                     "}\n");
+  EXPECT_TRUE(has(f, "instrument-name", 2));
+}
+
+TEST(CheckInstruments, LintIsLibraryOnlyAndOffWithoutPrefixes) {
+  const std::string bad = "void f(Registry& r) { r.counter(\"BAD\"); }\n";
+  // Test code is free to register ad-hoc names.
+  EXPECT_TRUE(run("tests/t.cpp", bad).empty());
+  // An empty [instruments] section disables the pass (back-compat).
+  Config c = test_config();
+  c.instrument_prefixes.clear();
+  std::set<std::string> atomics;
+  EXPECT_TRUE(check_file(c, "src/runtime/r.cpp", bad, atomics).empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -353,6 +353,113 @@ TEST_F(TelemetryTest, TraceBufferConcurrentRecordsAllLand) {
   expect_well_formed_trace_json(buf.to_chrome_json());
 }
 
+TEST_F(TelemetryTest, HistogramSingleSampleQuantilesCollapse) {
+  LatencyHistogram h;
+  h.record(1e-3);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1);
+  // One sample: min == max, and every quantile clamps to the sample.
+  EXPECT_DOUBLE_EQ(s.min_s, s.max_s);
+  EXPECT_NEAR(s.min_s, 1e-3, 1e-9);
+  EXPECT_DOUBLE_EQ(s.p50_s, s.min_s);
+  EXPECT_DOUBLE_EQ(s.p90_s, s.min_s);
+  EXPECT_DOUBLE_EQ(s.p99_s, s.min_s);
+}
+
+TEST_F(TelemetryTest, HistogramUnderflowBucketQuantiles) {
+  // All mass in bucket 0 ([0, 1 µs), lower edge 0): the geometric
+  // interpolation cannot take log(0) — the quantile falls back to linear
+  // and clamps into [min, max]. Zero and negative samples clamp to 0 ns.
+  LatencyHistogram h;
+  h.record(0.0);
+  h.record(-5.0);
+  h.record(0.5e-6);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.min_s, 0.0);
+  EXPECT_NEAR(s.max_s, 0.5e-6, 1e-12);
+  for (double q : {s.p50_s, s.p90_s, s.p99_s}) {
+    EXPECT_TRUE(std::isfinite(q));
+    EXPECT_GE(q, s.min_s);
+    EXPECT_LE(q, s.max_s);
+  }
+}
+
+TEST_F(TelemetryTest, TraceFlowEventsFormConnectedChain) {
+  TraceBuffer buf(64);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto us = [&](int n) { return t0 + std::chrono::microseconds(n); };
+  // Three spans of flow 7 (out of begin-time order on purpose) and one
+  // lone span of flow 9.
+  buf.record("mid", us(10), us(20), 7);
+  buf.record("head", us(0), us(5), 7);
+  buf.record("tail", us(30), us(40), 7);
+  buf.record("lone", us(0), us(1), 9);
+  const std::string json = buf.to_chrome_json();
+  expect_well_formed_trace_json(json);
+  // One start, one through, one finish (enclosing binding), all id 7.
+  EXPECT_NE(json.find("\"ph\": \"s\", \"id\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"t\", \"id\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\", \"id\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+  // The chain starts at the earliest-beginning span (midpoint 2.5 µs).
+  const std::size_t s_pos = json.find("\"ph\": \"s\", \"id\": 7");
+  EXPECT_NE(json.find("\"ts\": 2.500", s_pos), std::string::npos);
+  // A single-span flow draws no arrow.
+  EXPECT_EQ(json.find("\"id\": 9"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, TraceBufferDumpThenRearmUnderConcurrentWriters) {
+  // Live dumps (the /dump route) and clear-then-reuse (re-arming a capture)
+  // must hold up against concurrent writers: every export is structurally
+  // sound and clear() resets both the span count and the drop accounting.
+  TraceBuffer buf(256);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&buf, &stop, t0] {
+      std::uint64_t flow = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        buf.record("w", t0, t0 + std::chrono::microseconds(3), flow);
+        flow = flow % 5 + 1;
+      }
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    expect_well_formed_trace_json(buf.to_chrome_json());
+    buf.clear();
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_LE(buf.size(), buf.capacity());
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.dropped(), 0u);
+  // Re-armed: the next record lands with fresh accounting.
+  buf.record("fresh", t0, t0 + std::chrono::microseconds(1));
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.dropped(), 0u);
+}
+
+TEST_F(TelemetryTest, SnapshotSurfacesTraceDroppedSpans) {
+  tvbf::telemetry::trace_start(16);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 40; ++i)
+    tvbf::telemetry::trace_record("spam", t0,
+                                  t0 + std::chrono::microseconds(1));
+  tvbf::telemetry::trace_stop();
+  EXPECT_GE(tvbf::telemetry::trace_dropped(), 24);
+  const Snapshot snap = Registry::instance().snapshot();
+  const auto* v = snap.counter("telemetry.trace.dropped_spans");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->value, tvbf::telemetry::trace_dropped());
+  // The synthetic counter keeps the sorted-by-name invariant.
+  EXPECT_TRUE(std::is_sorted(
+      snap.counters.begin(), snap.counters.end(),
+      [](const auto& a, const auto& b) { return a.name < b.name; }));
+}
+
 TEST_F(TelemetryTest, GlobalTraceCaptureViaScopedSpan) {
   tvbf::telemetry::trace_start(1024);
   EXPECT_TRUE(tvbf::telemetry::trace_active());

@@ -464,6 +464,78 @@ void pass_require_side_effects(PassContext& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Pass 4: instrument naming
+
+void pass_instruments(PassContext& ctx) {
+  if (ctx.config.instrument_prefixes.empty()) return;
+  const std::string& text = ctx.stripped.text;
+  for (const char* method : {"counter", "gauge", "histogram"}) {
+    const std::string needle = method;
+    std::size_t pos = 0;
+    while ((pos = text.find(needle, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += needle.size();
+      // Must be an exact member-call token: `.name(` or `->name(`.
+      if (!word_boundary_before(text, start) || start == 0) continue;
+      const bool dot = text[start - 1] == '.';
+      const bool arrow =
+          start >= 2 && text[start - 1] == '>' && text[start - 2] == '-';
+      if (!dot && !arrow) continue;
+      const std::size_t end = start + needle.size();
+      if (end < text.size() && is_ident(text[end])) continue;
+      const std::size_t open = skip_ws(text, end);
+      if (open >= text.size() || text[open] != '(') continue;
+      const std::size_t arg = skip_ws(text, open + 1);
+      // Only a string-literal first argument is checkable here; a name
+      // forwarded through a variable was someone else's literal.
+      if (arg >= text.size() || text[arg] != '"') continue;
+      // strip() blanks literal contents at identical offsets, so the name
+      // is read back from the raw text.
+      std::size_t close = arg + 1;
+      std::string name;
+      while (close < ctx.raw.size() && ctx.raw[close] != '"' &&
+             ctx.raw[close] != '\n') {
+        name += ctx.raw[close];
+        ++close;
+      }
+      if (close >= ctx.raw.size() || ctx.raw[close] != '"') continue;
+      const int line = line_at(text, start);
+      bool charset_ok = !name.empty();
+      for (char c : name) {
+        const bool lower = c >= 'a' && c <= 'z';
+        const bool digit = c >= '0' && c <= '9';
+        if (!lower && !digit && c != '_' && c != '.') charset_ok = false;
+      }
+      if (!charset_ok) {
+        ctx.emit(line, "instrument-name",
+                 "instrument name \"" + name +
+                     "\" must be dotted lowercase ([a-z0-9_.])");
+        continue;
+      }
+      // Prefix and dot-shape checks apply only when the literal is the
+      // whole name; a fragment composed with + ("device.submit." + kind)
+      // gets the charset check alone.
+      const std::size_t after = skip_ws(text, close + 1);
+      if (after >= text.size() || (text[after] != ')' && text[after] != ','))
+        continue;
+      if (name.front() == '.' || name.back() == '.' ||
+          name.find("..") != std::string::npos) {
+        ctx.emit(line, "instrument-name",
+                 "instrument name \"" + name +
+                     "\" has a leading, trailing or doubled dot");
+        continue;
+      }
+      if (!path_allowed(ctx.config.instrument_prefixes, name)) {
+        ctx.emit(line, "instrument-name",
+                 "instrument name \"" + name +
+                     "\" lacks a namespace prefix from [instruments] in "
+                     "tvbf-check.conf");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -492,7 +564,8 @@ Config parse_config(const std::string& text) {
         throw std::runtime_error("tvbf-check.conf:" + std::to_string(line_no) +
                                  ": malformed section header");
       section = line.substr(1, line.size() - 2);
-      if (section != "layers" && section != "atomics" && section != "threads")
+      if (section != "layers" && section != "atomics" &&
+          section != "threads" && section != "instruments")
         throw std::runtime_error("tvbf-check.conf:" + std::to_string(line_no) +
                                  ": unknown section [" + section + "]");
       continue;
@@ -529,6 +602,10 @@ Config parse_config(const std::string& text) {
       std::string path;
       words >> path;
       config.thread_allow.push_back(path);
+    } else if (section == "instruments" && key == "prefix") {
+      std::string prefix;
+      words >> prefix;
+      config.instrument_prefixes.push_back(prefix);
     } else {
       throw std::runtime_error("tvbf-check.conf:" + std::to_string(line_no) +
                                ": unknown key \"" + key + "\" in section [" +
@@ -590,6 +667,7 @@ std::vector<Finding> check_file(const Config& config, const std::string& path,
     pass_banned_calls(ctx);
     pass_naked_new_delete(ctx);
     pass_threads(ctx);
+    pass_instruments(ctx);
   }
   pass_atomics(ctx);
   pass_require_side_effects(ctx);

@@ -17,6 +17,11 @@
 //     rand/srand, naked new/delete, std::thread outside the [threads]
 //     allowlist), #pragma once in every header, and side-effecting
 //     TVBF_REQUIRE/TVBF_ENSURE conditions.
+//  4. instrument naming — string literals registering telemetry
+//     instruments (.counter/.gauge/.histogram) must be dotted lowercase
+//     ([a-z0-9_.]) and start with a namespace prefix from the config's
+//     [instruments] section, so /metrics and snapshot names stay coherent.
+//     Composed names (literal followed by +) are charset-checked only.
 //
 // A finding on line N can be suppressed with a comment on line N or N-1:
 //   // tvbf-check: allow(<rule>)
@@ -35,7 +40,8 @@ struct Finding {
   int line = 0;
   std::string rule;  ///< "layering", "atomic-order", "banned-call",
                      ///< "naked-new", "naked-delete", "thread",
-                     ///< "pragma-once", "require-side-effect"
+                     ///< "pragma-once", "require-side-effect",
+                     ///< "instrument-name"
   std::string message;
 };
 
@@ -47,6 +53,9 @@ struct Config {
   std::vector<std::string> atomics_allow_implicit;
   /// Path prefixes allowed to own std::thread / std::jthread objects.
   std::vector<std::string> thread_allow;
+  /// Allowed instrument-name namespaces ("serve.", "graph.", ...). Empty
+  /// disables the instrument-name pass.
+  std::vector<std::string> instrument_prefixes;
 };
 
 /// Parses the config text; throws std::runtime_error on malformed input
